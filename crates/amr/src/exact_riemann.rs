@@ -1,0 +1,316 @@
+//! Exact solution of the 1D Euler Riemann problem (Toro's method).
+//!
+//! Used to validate the HLLC/MUSCL scheme against analytic shock-tube
+//! solutions: the star-region pressure is found by Newton–Raphson on the
+//! pressure function, and the self-similar solution `w(x/t)` is sampled
+//! wave by wave. Not used in the production solver path — this is the
+//! ground truth the tests compare against.
+
+use crate::euler::GAMMA;
+
+/// Primitive state `(ρ, u, p)` of a 1D section.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Primitive1d {
+    /// Density.
+    pub rho: f64,
+    /// Normal velocity.
+    pub u: f64,
+    /// Pressure.
+    pub p: f64,
+}
+
+impl Primitive1d {
+    /// Construct, validating positivity.
+    pub fn new(rho: f64, u: f64, p: f64) -> Self {
+        assert!(rho > 0.0 && p > 0.0, "non-physical state");
+        Primitive1d { rho, u, p }
+    }
+
+    /// Sound speed.
+    pub fn sound_speed(&self) -> f64 {
+        (GAMMA * self.p / self.rho).sqrt()
+    }
+}
+
+/// The solved Riemann problem: star-region values plus the input states.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactRiemann {
+    left: Primitive1d,
+    right: Primitive1d,
+    /// Pressure in the star region.
+    pub p_star: f64,
+    /// Velocity of the contact wave.
+    pub u_star: f64,
+}
+
+/// The `f_K(p)` function of Toro (Eq. 4.6/4.7): pressure jump relation
+/// across the left or right wave, and its derivative.
+fn pressure_function(p: f64, state: &Primitive1d) -> (f64, f64) {
+    let (rho_k, p_k) = (state.rho, state.p);
+    let c_k = state.sound_speed();
+    if p > p_k {
+        // Shock branch.
+        let a_k = 2.0 / ((GAMMA + 1.0) * rho_k);
+        let b_k = (GAMMA - 1.0) / (GAMMA + 1.0) * p_k;
+        let root = (a_k / (p + b_k)).sqrt();
+        let f = (p - p_k) * root;
+        let df = root * (1.0 - 0.5 * (p - p_k) / (p + b_k));
+        (f, df)
+    } else {
+        // Rarefaction branch:
+        // f = 2c_k/(γ−1) ((p/p_k)^((γ−1)/2γ) − 1),
+        // f' = (p/p_k)^(−(γ+1)/2γ) / (ρ_k c_k).
+        let exponent = (GAMMA - 1.0) / (2.0 * GAMMA);
+        let f = 2.0 * c_k / (GAMMA - 1.0) * ((p / p_k).powf(exponent) - 1.0);
+        let df = (p / p_k).powf(-(GAMMA + 1.0) / (2.0 * GAMMA)) / (rho_k * c_k);
+        (f, df)
+    }
+}
+
+impl ExactRiemann {
+    /// Solve the Riemann problem between `left` and `right` states.
+    ///
+    /// Panics if the states generate vacuum (`Δu` too large for the
+    /// pressures to connect) — shock-tube test cases never do.
+    pub fn solve(left: Primitive1d, right: Primitive1d) -> Self {
+        let du = right.u - left.u;
+        // Vacuum check (Toro Eq. 4.40).
+        let critical =
+            2.0 * (left.sound_speed() + right.sound_speed()) / (GAMMA - 1.0);
+        assert!(du < critical, "initial states generate vacuum");
+
+        // Initial guess: two-rarefaction approximation (robust everywhere).
+        let cl = left.sound_speed();
+        let cr = right.sound_speed();
+        let z = (GAMMA - 1.0) / (2.0 * GAMMA);
+        let p0 = ((cl + cr - 0.5 * (GAMMA - 1.0) * du)
+            / (cl / left.p.powf(z) + cr / right.p.powf(z)))
+        .powf(1.0 / z);
+        let mut p = p0.max(1e-10);
+
+        // Newton–Raphson on f(p) = f_L + f_R + Δu.
+        for _ in 0..60 {
+            let (fl, dfl) = pressure_function(p, &left);
+            let (fr, dfr) = pressure_function(p, &right);
+            let f = fl + fr + du;
+            let df = dfl + dfr;
+            let step = f / df;
+            let p_new = (p - step).max(1e-12);
+            if (p_new - p).abs() / (0.5 * (p_new + p)) < 1e-12 {
+                p = p_new;
+                break;
+            }
+            p = p_new;
+        }
+        let (fl, _) = pressure_function(p, &left);
+        let (fr, _) = pressure_function(p, &right);
+        let u_star = 0.5 * (left.u + right.u) + 0.5 * (fr - fl);
+
+        ExactRiemann {
+            left,
+            right,
+            p_star: p,
+            u_star,
+        }
+    }
+
+    /// Sample the self-similar solution at `xi = x/t` (Toro §4.5).
+    pub fn sample(&self, xi: f64) -> Primitive1d {
+        if xi <= self.u_star {
+            self.sample_left(xi)
+        } else {
+            self.sample_right(xi)
+        }
+    }
+
+    fn sample_left(&self, xi: f64) -> Primitive1d {
+        let l = self.left;
+        let cl = l.sound_speed();
+        if self.p_star > l.p {
+            // Left shock.
+            let ratio = self.p_star / l.p;
+            let g = (GAMMA - 1.0) / (GAMMA + 1.0);
+            let s = l.u - cl * ((GAMMA + 1.0) / (2.0 * GAMMA) * ratio
+                + (GAMMA - 1.0) / (2.0 * GAMMA))
+                .sqrt();
+            if xi < s {
+                l
+            } else {
+                Primitive1d {
+                    rho: l.rho * (ratio + g) / (g * ratio + 1.0),
+                    u: self.u_star,
+                    p: self.p_star,
+                }
+            }
+        } else {
+            // Left rarefaction.
+            let rho_star = l.rho * (self.p_star / l.p).powf(1.0 / GAMMA);
+            let c_star = cl * (self.p_star / l.p).powf((GAMMA - 1.0) / (2.0 * GAMMA));
+            let head = l.u - cl;
+            let tail = self.u_star - c_star;
+            if xi < head {
+                l
+            } else if xi > tail {
+                Primitive1d {
+                    rho: rho_star,
+                    u: self.u_star,
+                    p: self.p_star,
+                }
+            } else {
+                // Inside the fan.
+                let g = 2.0 / (GAMMA + 1.0);
+                let c = g * (cl + 0.5 * (GAMMA - 1.0) * (l.u - xi));
+                let u = g * (cl + 0.5 * (GAMMA - 1.0) * l.u + xi);
+                Primitive1d {
+                    rho: l.rho * (c / cl).powf(2.0 / (GAMMA - 1.0)),
+                    u,
+                    p: l.p * (c / cl).powf(2.0 * GAMMA / (GAMMA - 1.0)),
+                }
+            }
+        }
+    }
+
+    fn sample_right(&self, xi: f64) -> Primitive1d {
+        let r = self.right;
+        let cr = r.sound_speed();
+        if self.p_star > r.p {
+            // Right shock.
+            let ratio = self.p_star / r.p;
+            let g = (GAMMA - 1.0) / (GAMMA + 1.0);
+            let s = r.u + cr * ((GAMMA + 1.0) / (2.0 * GAMMA) * ratio
+                + (GAMMA - 1.0) / (2.0 * GAMMA))
+                .sqrt();
+            if xi > s {
+                r
+            } else {
+                Primitive1d {
+                    rho: r.rho * (ratio + g) / (g * ratio + 1.0),
+                    u: self.u_star,
+                    p: self.p_star,
+                }
+            }
+        } else {
+            // Right rarefaction.
+            let rho_star = r.rho * (self.p_star / r.p).powf(1.0 / GAMMA);
+            let c_star = cr * (self.p_star / r.p).powf((GAMMA - 1.0) / (2.0 * GAMMA));
+            let head = r.u + cr;
+            let tail = self.u_star + c_star;
+            if xi > head {
+                r
+            } else if xi < tail {
+                Primitive1d {
+                    rho: rho_star,
+                    u: self.u_star,
+                    p: self.p_star,
+                }
+            } else {
+                let g = 2.0 / (GAMMA + 1.0);
+                let c = g * (cr - 0.5 * (GAMMA - 1.0) * (r.u - xi));
+                let u = g * (-cr + 0.5 * (GAMMA - 1.0) * r.u + xi);
+                Primitive1d {
+                    rho: r.rho * (c / cr).powf(2.0 / (GAMMA - 1.0)),
+                    u,
+                    p: r.p * (c / cr).powf(2.0 * GAMMA / (GAMMA - 1.0)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sod() -> ExactRiemann {
+        ExactRiemann::solve(
+            Primitive1d::new(1.0, 0.0, 1.0),
+            Primitive1d::new(0.125, 0.0, 0.1),
+        )
+    }
+
+    #[test]
+    fn sod_star_values_match_toro_table() {
+        // Toro, Table 4.2 (test 1): p* = 0.30313, u* = 0.92745.
+        let sol = sod();
+        assert!((sol.p_star - 0.30313).abs() < 1e-4, "p* = {}", sol.p_star);
+        assert!((sol.u_star - 0.92745).abs() < 1e-4, "u* = {}", sol.u_star);
+    }
+
+    #[test]
+    fn sod_sampling_recovers_plateaus() {
+        let sol = sod();
+        // Far left: undisturbed left state.
+        let w = sol.sample(-2.0);
+        assert_eq!(w, Primitive1d::new(1.0, 0.0, 1.0));
+        // Far right: undisturbed right state.
+        let w = sol.sample(2.0);
+        assert_eq!(w, Primitive1d::new(0.125, 0.0, 0.1));
+        // Between contact and shock: ρ*R = 0.26557 (Toro).
+        let w = sol.sample(1.2);
+        assert!((w.rho - 0.26557).abs() < 1e-4, "rho*R = {}", w.rho);
+        assert!((w.u - sol.u_star).abs() < 1e-12);
+        // Between rarefaction tail and contact: ρ*L = 0.42632 (Toro).
+        let w = sol.sample(0.5);
+        assert!((w.rho - 0.42632).abs() < 1e-4, "rho*L = {}", w.rho);
+    }
+
+    #[test]
+    fn symmetric_collision_has_zero_contact_speed() {
+        // Two identical streams colliding head-on: u* = 0 by symmetry,
+        // p* > p (double shock).
+        let sol = ExactRiemann::solve(
+            Primitive1d::new(1.0, 1.0, 1.0),
+            Primitive1d::new(1.0, -1.0, 1.0),
+        );
+        assert!(sol.u_star.abs() < 1e-10, "u* = {}", sol.u_star);
+        assert!(sol.p_star > 1.0);
+    }
+
+    #[test]
+    fn expansion_lowers_star_pressure() {
+        // Streams separating: double rarefaction, p* < p.
+        let sol = ExactRiemann::solve(
+            Primitive1d::new(1.0, -0.5, 1.0),
+            Primitive1d::new(1.0, 0.5, 1.0),
+        );
+        assert!(sol.p_star < 1.0, "p* = {}", sol.p_star);
+        assert!(sol.u_star.abs() < 1e-10);
+    }
+
+    #[test]
+    fn trivial_problem_returns_the_state() {
+        let s = Primitive1d::new(1.3, 0.4, 2.0);
+        let sol = ExactRiemann::solve(s, s);
+        assert!((sol.p_star - 2.0).abs() < 1e-9);
+        assert!((sol.u_star - 0.4).abs() < 1e-9);
+        let w = sol.sample(0.4);
+        assert!((w.rho - 1.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solution_is_continuous_across_the_contact() {
+        let sol = sod();
+        let eps = 1e-9;
+        let wl = sol.sample(sol.u_star - eps);
+        let wr = sol.sample(sol.u_star + eps);
+        // Pressure and velocity continuous; density jumps.
+        assert!((wl.p - wr.p).abs() < 1e-6);
+        assert!((wl.u - wr.u).abs() < 1e-6);
+        assert!((wl.rho - wr.rho).abs() > 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "vacuum")]
+    fn vacuum_generating_states_are_rejected() {
+        ExactRiemann::solve(
+            Primitive1d::new(1.0, -10.0, 1.0),
+            Primitive1d::new(1.0, 10.0, 1.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-physical")]
+    fn negative_density_rejected() {
+        Primitive1d::new(-1.0, 0.0, 1.0);
+    }
+}

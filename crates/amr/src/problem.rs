@@ -1,0 +1,145 @@
+//! Problem definitions: initial conditions plus boundary conditions.
+//!
+//! The performance study runs the shock–bubble interaction, but the AMR
+//! machinery is problem-agnostic — [`crate::AmrSolver::with_problem`]
+//! accepts anything implementing [`Problem`]. A Sedov-type blast is
+//! provided as a second built-in, exercising refinement patterns (an
+//! expanding circular front) very different from the shock–bubble's.
+
+use crate::euler::{conservative, State};
+use crate::shockbubble::{self, SimulationConfig};
+use crate::tree::{Bc, BcKind};
+
+/// A simulation setup the AMR solver can run.
+pub trait Problem {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Pointwise initial condition.
+    fn initial_state(&self, x: f64, y: f64) -> State;
+
+    /// Domain boundary conditions.
+    fn boundary_conditions(&self) -> Bc;
+}
+
+/// The paper's shock–bubble interaction, parameterised by a
+/// [`SimulationConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShockBubbleProblem {
+    config: SimulationConfig,
+}
+
+impl ShockBubbleProblem {
+    /// Wrap a configuration.
+    pub fn new(config: SimulationConfig) -> Self {
+        ShockBubbleProblem { config }
+    }
+}
+
+impl Problem for ShockBubbleProblem {
+    fn name(&self) -> &'static str {
+        "shock-bubble"
+    }
+
+    fn initial_state(&self, x: f64, y: f64) -> State {
+        shockbubble::initial_condition(&self.config)(x, y)
+    }
+
+    fn boundary_conditions(&self) -> Bc {
+        Bc {
+            west: BcKind::Inflow(shockbubble::post_shock_state(shockbubble::SHOCK_MACH)),
+            ..Bc::all_extrapolate()
+        }
+    }
+}
+
+/// A Sedov-type point blast: a disk of high pressure at the domain centre
+/// expanding into a quiet ambient gas. Refinement chases the circular
+/// blast front.
+#[derive(Debug, Clone, Copy)]
+pub struct SedovBlast {
+    /// Pressure inside the initial energy disk (ambient is 1).
+    pub blast_pressure: f64,
+    /// Radius of the energy disk, in domain units.
+    pub radius: f64,
+}
+
+impl SedovBlast {
+    /// A strong blast: 1000× ambient pressure in a disk of radius 0.05.
+    pub fn strong() -> Self {
+        SedovBlast {
+            blast_pressure: 1000.0,
+            radius: 0.05,
+        }
+    }
+}
+
+impl Problem for SedovBlast {
+    fn name(&self) -> &'static str {
+        "sedov-blast"
+    }
+
+    fn initial_state(&self, x: f64, y: f64) -> State {
+        let dx = x - 0.5;
+        let dy = y - 0.5;
+        let p = if dx * dx + dy * dy < self.radius * self.radius {
+            self.blast_pressure
+        } else {
+            1.0
+        };
+        conservative(1.0, 0.0, 0.0, p)
+    }
+
+    fn boundary_conditions(&self) -> Bc {
+        Bc::all_extrapolate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euler::pressure;
+
+    #[test]
+    fn shock_bubble_problem_matches_free_functions() {
+        let config = SimulationConfig {
+            p: 8,
+            mx: 16,
+            maxlevel: 4,
+            r0: 0.3,
+            rhoin: 0.1,
+        };
+        let problem = ShockBubbleProblem::new(config);
+        assert_eq!(problem.name(), "shock-bubble");
+        let direct = shockbubble::initial_condition(&config);
+        for (x, y) in [(0.1, 0.5), (0.45, 0.5), (0.9, 0.9)] {
+            assert_eq!(problem.initial_state(x, y), direct(x, y));
+        }
+        assert!(matches!(problem.boundary_conditions().west, BcKind::Inflow(_)));
+    }
+
+    #[test]
+    fn sedov_blast_geometry() {
+        let blast = SedovBlast::strong();
+        assert_eq!(blast.name(), "sedov-blast");
+        let center = blast.initial_state(0.5, 0.5);
+        assert!((pressure(&center) - 1000.0).abs() < 1e-9);
+        let ambient = blast.initial_state(0.1, 0.1);
+        assert!((pressure(&ambient) - 1.0).abs() < 1e-12);
+        // Uniform unit density everywhere.
+        assert!((center[0] - 1.0).abs() < 1e-12);
+        assert!(matches!(blast.boundary_conditions().west, BcKind::Extrapolate));
+    }
+
+    #[test]
+    fn sedov_blast_is_radially_symmetric() {
+        let blast = SedovBlast::strong();
+        for r in [0.03, 0.06, 0.2] {
+            let a = blast.initial_state(0.5 + r, 0.5);
+            let b = blast.initial_state(0.5, 0.5 + r);
+            let c = blast.initial_state(0.5 - r / 2f64.sqrt(), 0.5 - r / 2f64.sqrt());
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Refinement criteria configuration.
+//!
+//! Tagging itself lives in [`crate::patch::Patch::refinement_indicator`]
+//! (largest relative density jump between adjacent cells) and the regrid
+//! machinery in [`crate::tree::Forest::regrid`]; this module bundles the
+//! thresholds with hysteresis so solver presets can carry them around.
+
+/// Thresholds controlling when patches refine and coarsen.
+///
+/// Hysteresis (`coarsen < refine`) prevents patches from oscillating
+/// between levels as a feature sweeps through them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefinementCriteria {
+    /// Refine a patch when its indicator exceeds this value.
+    pub refine_threshold: f64,
+    /// Coarsen a sibling quartet when all four indicators are below this
+    /// value. Must not exceed `refine_threshold`.
+    pub coarsen_threshold: f64,
+}
+
+impl RefinementCriteria {
+    /// Create criteria, validating the hysteresis ordering.
+    pub fn new(refine_threshold: f64, coarsen_threshold: f64) -> Self {
+        assert!(refine_threshold > 0.0);
+        assert!(
+            coarsen_threshold <= refine_threshold,
+            "coarsen threshold {coarsen_threshold} must not exceed refine threshold {refine_threshold}"
+        );
+        RefinementCriteria {
+            refine_threshold,
+            coarsen_threshold,
+        }
+    }
+}
+
+impl Default for RefinementCriteria {
+    /// Values tuned for the shock–bubble problem: tag the shock (density
+    /// ratio ≈ 2.7 across a few cells) and the bubble interface (ratio
+    /// up to 50) but not the smooth post-shock flow.
+    fn default() -> Self {
+        RefinementCriteria::new(0.12, 0.04)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_has_hysteresis() {
+        let c = RefinementCriteria::default();
+        assert!(c.coarsen_threshold < c.refine_threshold);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn rejects_inverted_thresholds() {
+        RefinementCriteria::new(0.1, 0.2);
+    }
+
+    #[test]
+    fn new_accepts_valid_thresholds() {
+        let c = RefinementCriteria::new(0.3, 0.1);
+        assert_eq!(c.refine_threshold, 0.3);
+        assert_eq!(c.coarsen_threshold, 0.1);
+    }
+}

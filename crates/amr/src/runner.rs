@@ -1,0 +1,122 @@
+//! End-to-end simulation runner: configuration → AMR run → machine-model
+//! responses. This is the "one job on the supercomputer" primitive that
+//! both the offline dataset generator and the online AL example call.
+
+use crate::machine::{MachineModel, MachineOutcome};
+use crate::shockbubble::SimulationConfig;
+use crate::solver::{AmrSolver, SolverProfile, WorkStats};
+
+/// Everything a completed "job" reports back (the paper collected the
+/// analogous records from FORESTCLAW output and SLURM accounting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationOutcome {
+    /// The configuration that ran.
+    pub config: SimulationConfig,
+    /// Wall-clock seconds (response 1 of Table I).
+    pub wall_seconds: f64,
+    /// Cost in node-hours (response 2).
+    pub cost_node_hours: f64,
+    /// MaxRSS per process in MB (response 3).
+    pub memory_mb: f64,
+    /// Raw work counters, for diagnostics and the Criterion benches.
+    pub work: WorkStats,
+}
+
+/// Run one AMR simulation of `config` under `profile` and translate its
+/// measured work through `machine`. `repeat` selects the measurement-noise
+/// realization: the same `(config, repeat)` pair always reproduces the
+/// same responses, while different repeats model run-to-run variability.
+///
+/// # Examples
+///
+/// ```
+/// use al_amr_sim::{run_simulation, MachineModel, SimulationConfig, SolverProfile};
+///
+/// let config = SimulationConfig { p: 8, mx: 8, maxlevel: 3, r0: 0.3, rhoin: 0.1 };
+/// let outcome = run_simulation(&config, SolverProfile::smoke(), &MachineModel::default(), 0);
+/// assert!(outcome.cost_node_hours > 0.0);
+/// assert!(outcome.memory_mb > 0.0);
+/// // Cost is exactly wall-clock × nodes (in hours).
+/// let expected = outcome.wall_seconds * 8.0 / 3600.0;
+/// assert!((outcome.cost_node_hours - expected).abs() < 1e-12);
+/// ```
+pub fn run_simulation(
+    config: &SimulationConfig,
+    profile: SolverProfile,
+    machine: &MachineModel,
+    repeat: u32,
+) -> SimulationOutcome {
+    let mut solver = AmrSolver::new(config, profile);
+    let work = solver.run();
+    let seed = config
+        .stable_hash()
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(repeat as u64);
+    let MachineOutcome {
+        wall_seconds,
+        cost_node_hours,
+        memory_mb,
+    } = machine.evaluate(&work, config.p, seed);
+    SimulationOutcome {
+        config: *config,
+        wall_seconds,
+        cost_node_hours,
+        memory_mb,
+        work,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SimulationConfig {
+        SimulationConfig {
+            p: 8,
+            mx: 8,
+            maxlevel: 3,
+            r0: 0.3,
+            rhoin: 0.1,
+        }
+    }
+
+    #[test]
+    fn outcome_is_deterministic_per_repeat() {
+        let m = MachineModel::default();
+        let a = run_simulation(&config(), SolverProfile::smoke(), &m, 0);
+        let b = run_simulation(&config(), SolverProfile::smoke(), &m, 0);
+        assert_eq!(a, b);
+        let c = run_simulation(&config(), SolverProfile::smoke(), &m, 1);
+        assert_ne!(a.cost_node_hours, c.cost_node_hours, "repeats differ");
+        // But the underlying work is identical — only the noise changes.
+        assert_eq!(a.work, c.work);
+    }
+
+    #[test]
+    fn responses_are_positive_and_consistent() {
+        let m = MachineModel::default();
+        let o = run_simulation(&config(), SolverProfile::smoke(), &m, 0);
+        assert!(o.wall_seconds > 0.0);
+        assert!(o.memory_mb > 0.0);
+        assert!(
+            (o.cost_node_hours - o.wall_seconds * o.config.p as f64 / 3600.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn deeper_refinement_is_more_expensive() {
+        let m = MachineModel::default();
+        let shallow = run_simulation(&config(), SolverProfile::smoke(), &m, 0);
+        let deep = run_simulation(
+            &SimulationConfig {
+                maxlevel: 5,
+                ..config()
+            },
+            SolverProfile::smoke(),
+            &m,
+            0,
+        );
+        assert!(deep.cost_node_hours > 3.0 * shallow.cost_node_hours);
+        assert!(deep.memory_mb > shallow.memory_mb);
+    }
+}

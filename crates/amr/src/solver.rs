@@ -1,0 +1,378 @@
+//! Level-synchronous AMR time integration with work accounting.
+//!
+//! The solver advances every leaf with the global CFL time step (all levels
+//! in lockstep — simpler than subcycling, and conservative in the sense that
+//! counted work is an upper bound per coarse cell), refilling ghost layers
+//! before each directional sweep and regridding on a fixed cadence. Every
+//! unit of work the machine model later converts into wall-clock time and
+//! memory is counted here: cell updates, ghost-exchange volume, regrids and
+//! the peak number of resident cells.
+
+use crate::patch::SweepScratch;
+use crate::refine::RefinementCriteria;
+use crate::shockbubble::SimulationConfig;
+use crate::tree::{Axis, Bc, Forest};
+
+/// Numerical profile controlling how long and how accurately to simulate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverProfile {
+    /// Simulated end time (domain units; the shock crosses the whole
+    /// domain in roughly 0.37 time units).
+    pub t_final: f64,
+    /// CFL number for the global time step.
+    pub cfl: f64,
+    /// Refinement thresholds.
+    pub criteria: RefinementCriteria,
+    /// Steps between regrid cycles.
+    pub regrid_interval: u64,
+    /// Coarsest level of the forest.
+    pub minlevel: u8,
+    /// Hard cap on time steps (safety against pathological configs).
+    pub max_steps: u64,
+    /// Apply flux-register corrections at coarse–fine interfaces after
+    /// each sweep (restores discrete conservation; small extra cost).
+    pub reflux: bool,
+}
+
+impl SolverProfile {
+    /// Profile used for dataset generation: a short burst of the early
+    /// shock–bubble interaction. The adaptive census (sensitive to `r0`,
+    /// `rhoin`, `maxlevel`, `mx`) is fully formed at initialization and the
+    /// step count carries the wave-speed dependence on `rhoin`; the machine
+    /// model's `full_sim_scale` maps this burst to a production-length run.
+    pub fn paper() -> Self {
+        SolverProfile {
+            t_final: 0.005,
+            cfl: 0.45,
+            criteria: RefinementCriteria::default(),
+            regrid_interval: 4,
+            minlevel: 2,
+            max_steps: 200_000,
+            reflux: true,
+        }
+    }
+
+    /// Reduced-accuracy profile (shorter horizon) for quick dataset
+    /// regeneration (`--fast` in the experiment binaries).
+    pub fn fast() -> Self {
+        SolverProfile {
+            t_final: 0.002,
+            ..Self::paper()
+        }
+    }
+
+    /// Tiny profile for unit/integration tests.
+    pub fn smoke() -> Self {
+        SolverProfile {
+            t_final: 0.001,
+            minlevel: 1,
+            regrid_interval: 4,
+            cfl: 0.45,
+            criteria: RefinementCriteria::default(),
+            max_steps: 200_000,
+            reflux: true,
+        }
+    }
+}
+
+/// Work performed by a simulation — the machine model's input.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkStats {
+    /// Time steps taken.
+    pub steps: u64,
+    /// Directional cell updates (one cell, one sweep).
+    pub cell_updates: u64,
+    /// Ghost cells exchanged between patches (communication volume).
+    pub ghost_cells: u64,
+    /// Ghost cells filled from physical boundaries.
+    pub boundary_cells: u64,
+    /// Coarse faces corrected by refluxing.
+    pub reflux_faces: u64,
+    /// Regrid cycles executed.
+    pub regrid_count: u64,
+    /// Patches refined or coarsened across all regrids.
+    pub regrid_changes: u64,
+    /// Peak resident cells including ghost storage.
+    pub peak_storage_cells: u64,
+    /// Peak leaf-patch count.
+    pub peak_leaves: u64,
+    /// Simulated time actually reached.
+    pub final_time: f64,
+}
+
+/// Driver owning the forest, boundary conditions and counters.
+#[derive(Debug, Clone)]
+pub struct AmrSolver {
+    forest: Forest,
+    bc: Bc,
+    profile: SolverProfile,
+    time: f64,
+    stats: WorkStats,
+    scratch: SweepScratch,
+}
+
+impl AmrSolver {
+    /// Set up the shock–bubble problem for `config`: build the forest,
+    /// adaptively refine the initial condition, and install the inflow
+    /// (west) / outflow boundary conditions.
+    pub fn new(config: &SimulationConfig, profile: SolverProfile) -> Self {
+        Self::with_problem(
+            &crate::problem::ShockBubbleProblem::new(*config),
+            config.mx,
+            config.maxlevel,
+            profile,
+        )
+    }
+
+    /// Set up an arbitrary [`Problem`](crate::problem::Problem) on an
+    /// `mx`-cell patch forest refined up to `maxlevel`.
+    pub fn with_problem(
+        problem: &dyn crate::problem::Problem,
+        mx: usize,
+        maxlevel: u8,
+        profile: SolverProfile,
+    ) -> Self {
+        let minlevel = profile.minlevel.min(maxlevel);
+        let mut forest = Forest::uniform(mx, minlevel, maxlevel);
+        forest.init_adaptive(
+            &|x, y| problem.initial_state(x, y),
+            profile.criteria.refine_threshold,
+        );
+        let bc = problem.boundary_conditions();
+        let mut stats = WorkStats::default();
+        stats.peak_storage_cells = forest.total_storage_cells();
+        stats.peak_leaves = forest.n_leaves() as u64;
+
+        AmrSolver {
+            forest,
+            bc,
+            profile,
+            time: 0.0,
+            stats,
+            scratch: SweepScratch::default(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> &WorkStats {
+        &self.stats
+    }
+
+    /// The forest (for visualization and inspection).
+    pub fn forest(&self) -> &Forest {
+        &self.forest
+    }
+
+    /// Advance one global time step (ghost fill → x sweep → ghost fill →
+    /// y sweep, alternating the sweep order every step for second-order
+    /// splitting symmetry). Returns the `dt` taken.
+    pub fn step(&mut self) -> f64 {
+        let mut dt = self.forest.cfl_dt(self.profile.cfl);
+        // Do not overshoot the end time.
+        if self.time + dt > self.profile.t_final {
+            dt = self.profile.t_final - self.time;
+        }
+
+        let x_first = self.stats.steps % 2 == 0;
+        for half in 0..2 {
+            let ex = self.forest.fill_ghosts(&self.bc);
+            self.stats.ghost_cells += ex.exchanged();
+            self.stats.boundary_cells += ex.boundary_cells;
+            let sweep_x = (half == 0) == x_first;
+            let mut registers = std::collections::BTreeMap::new();
+            for key in self.forest.leaf_keys() {
+                let patch = self.forest.get_mut(key).expect("key from snapshot");
+                let fluxes = if sweep_x {
+                    patch.sweep_x(dt, &mut self.scratch)
+                } else {
+                    patch.sweep_y(dt, &mut self.scratch)
+                };
+                if self.profile.reflux {
+                    registers.insert(key, fluxes);
+                }
+            }
+            if self.profile.reflux {
+                let axis = if sweep_x { Axis::X } else { Axis::Y };
+                self.stats.reflux_faces += self.forest.reflux(axis, &registers, dt);
+            }
+            self.stats.cell_updates += self.forest.total_interior_cells();
+        }
+
+        self.time += dt;
+        self.stats.steps += 1;
+        self.stats.final_time = self.time;
+
+        if self.stats.steps % self.profile.regrid_interval == 0 {
+            let changes = self.forest.regrid(
+                self.profile.criteria.refine_threshold,
+                self.profile.criteria.coarsen_threshold,
+            );
+            self.stats.regrid_count += 1;
+            self.stats.regrid_changes += changes as u64;
+            self.stats.peak_storage_cells = self
+                .stats
+                .peak_storage_cells
+                .max(self.forest.total_storage_cells());
+            self.stats.peak_leaves = self.stats.peak_leaves.max(self.forest.n_leaves() as u64);
+        }
+        dt
+    }
+
+    /// Run until `t_final` (or the step cap). Returns the final counters.
+    pub fn run(&mut self) -> WorkStats {
+        while self.time < self.profile.t_final && self.stats.steps < self.profile.max_steps {
+            let dt = self.step();
+            if dt <= 0.0 || !dt.is_finite() {
+                break;
+            }
+        }
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SimulationConfig {
+        SimulationConfig {
+            p: 4,
+            mx: 8,
+            maxlevel: 3,
+            r0: 0.35,
+            rhoin: 0.1,
+        }
+    }
+
+    #[test]
+    fn initial_forest_refines_around_features() {
+        let solver = AmrSolver::new(&tiny_config(), SolverProfile::smoke());
+        let census = solver.forest().census();
+        assert!(
+            census.counts[3] > 0,
+            "finest level populated at shock/bubble: {census:?}"
+        );
+        // The whole domain is NOT uniformly refined.
+        assert!(
+            (solver.forest().n_leaves() as u64) < 64,
+            "{} leaves",
+            solver.forest().n_leaves()
+        );
+    }
+
+    #[test]
+    fn step_advances_time_and_counts_work() {
+        let mut solver = AmrSolver::new(&tiny_config(), SolverProfile::smoke());
+        let dt = solver.step();
+        assert!(dt > 0.0);
+        let s = solver.stats();
+        assert_eq!(s.steps, 1);
+        assert!(s.cell_updates > 0);
+        assert!(s.ghost_cells > 0);
+        assert!((solver.time() - dt).abs() < 1e-15);
+    }
+
+    #[test]
+    fn run_reaches_t_final() {
+        let mut solver = AmrSolver::new(&tiny_config(), SolverProfile::smoke());
+        let stats = solver.run();
+        assert!((stats.final_time - SolverProfile::smoke().t_final).abs() < 1e-12);
+        assert!(stats.steps >= 1);
+        assert!(stats.regrid_count > 0 || stats.steps < 4);
+    }
+
+    #[test]
+    fn solution_stays_physical() {
+        let mut solver = AmrSolver::new(&tiny_config(), SolverProfile::smoke());
+        solver.run();
+        for (_, patch) in solver.forest().iter() {
+            for cy in 0..patch.mx() {
+                for cx in 0..patch.mx() {
+                    let q = patch.interior(cx, cy);
+                    assert!(q[0] > 0.0, "negative density");
+                    assert!(
+                        crate::euler::pressure(q) > 0.0,
+                        "negative pressure at {:?}",
+                        patch.cell_center(cx, cy)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_levels_cost_more_work() {
+        let mut shallow = AmrSolver::new(
+            &SimulationConfig {
+                maxlevel: 2,
+                ..tiny_config()
+            },
+            SolverProfile::smoke(),
+        );
+        let mut deep = AmrSolver::new(
+            &SimulationConfig {
+                maxlevel: 4,
+                ..tiny_config()
+            },
+            SolverProfile::smoke(),
+        );
+        let ws = shallow.run();
+        let wd = deep.run();
+        assert!(
+            wd.cell_updates > 2 * ws.cell_updates,
+            "deep {} vs shallow {}",
+            wd.cell_updates,
+            ws.cell_updates
+        );
+        assert!(wd.peak_storage_cells > ws.peak_storage_cells);
+        assert!(wd.steps > ws.steps, "finer grid forces smaller dt");
+    }
+
+    #[test]
+    fn bigger_bubble_refines_more() {
+        // maxlevel 4 so the bubble interface is resolved enough for its
+        // circumference (∝ r0) to dominate the leaf count.
+        let small = AmrSolver::new(
+            &SimulationConfig {
+                r0: 0.2,
+                maxlevel: 4,
+                ..tiny_config()
+            },
+            SolverProfile::smoke(),
+        );
+        let large = AmrSolver::new(
+            &SimulationConfig {
+                r0: 0.5,
+                maxlevel: 4,
+                ..tiny_config()
+            },
+            SolverProfile::smoke(),
+        );
+        assert!(
+            large.forest().n_leaves() > small.forest().n_leaves(),
+            "large bubble {} vs small {}",
+            large.forest().n_leaves(),
+            small.forest().n_leaves()
+        );
+    }
+
+    #[test]
+    fn peak_counters_never_decrease() {
+        let mut solver = AmrSolver::new(&tiny_config(), SolverProfile::smoke());
+        let initial_peak = solver.stats().peak_storage_cells;
+        solver.run();
+        assert!(solver.stats().peak_storage_cells >= initial_peak);
+        assert!(solver.stats().peak_leaves >= 1);
+    }
+
+    #[test]
+    fn profiles_are_ordered_by_cost() {
+        assert!(SolverProfile::smoke().t_final < SolverProfile::fast().t_final);
+        assert!(SolverProfile::fast().t_final < SolverProfile::paper().t_final);
+    }
+}

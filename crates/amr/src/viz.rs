@@ -1,0 +1,126 @@
+//! Lightweight visualization: render the density field and the patch
+//! structure as ASCII art or a binary PGM image (for the paper's Fig. 1).
+
+use crate::tree::Forest;
+use std::io::{self, Write};
+
+/// ASCII density ramp from light to heavy.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Render an `n × n` raster of the density field as ASCII art
+/// (row 0 at the top = largest y).
+pub fn ascii_density(forest: &Forest, n: usize) -> String {
+    let raster = forest.raster_density(n);
+    let (lo, hi) = raster
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let span = (hi - lo).max(1e-12);
+    let mut out = String::with_capacity(n * (n + 1));
+    for ry in (0..n).rev() {
+        for rx in 0..n {
+            let t = (raster[ry * n + rx] - lo) / span;
+            let idx = ((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write the density field as a binary PGM (P5) image, `n × n`, 8-bit.
+pub fn write_pgm(forest: &Forest, n: usize, w: &mut dyn Write) -> io::Result<()> {
+    let raster = forest.raster_density(n);
+    let (lo, hi) = raster
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let span = (hi - lo).max(1e-12);
+    writeln!(w, "P5\n{n} {n}\n255")?;
+    let mut row = Vec::with_capacity(n);
+    for ry in (0..n).rev() {
+        row.clear();
+        for rx in 0..n {
+            let t = (raster[ry * n + rx] - lo) / span;
+            row.push((t * 255.0).round().clamp(0.0, 255.0) as u8);
+        }
+        w.write_all(&row)?;
+    }
+    Ok(())
+}
+
+/// One line per level: level, leaf count, effective resolution, cell width.
+pub fn census_table(forest: &Forest) -> String {
+    let census = forest.census();
+    let mut out = String::new();
+    out.push_str("level  leaves  effective-res  cell-width\n");
+    for (level, &count) in census.counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let res = (1usize << level) * forest.mx();
+        out.push_str(&format!(
+            "{level:>5}  {count:>6}  {res:>7}x{res:<5}  {:.6}\n",
+            1.0 / res as f64
+        ));
+    }
+    out.push_str(&format!(
+        "total  {:>6}  ({} interior cells)\n",
+        forest.n_leaves(),
+        forest.total_interior_cells()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euler::conservative;
+
+    fn demo_forest() -> Forest {
+        let mut f = Forest::uniform(8, 1, 3);
+        f.init_adaptive(
+            &|x, _y| conservative(if x < 0.47 { 1.0 } else { 3.0 }, 0.0, 0.0, 1.0),
+            0.2,
+        );
+        f
+    }
+
+    #[test]
+    fn ascii_render_has_expected_shape() {
+        let art = ascii_density(&demo_forest(), 16);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 16);
+        assert!(lines.iter().all(|l| l.len() == 16));
+        // Left half light, right half heavy.
+        assert!(lines[8].starts_with(' '));
+        assert!(lines[8].ends_with('@'));
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let mut buf = Vec::new();
+        write_pgm(&demo_forest(), 8, &mut buf).unwrap();
+        assert!(buf.starts_with(b"P5\n8 8\n255\n"));
+        assert_eq!(buf.len(), b"P5\n8 8\n255\n".len() + 64);
+    }
+
+    #[test]
+    fn census_lists_populated_levels() {
+        let table = census_table(&demo_forest());
+        assert!(table.contains("level"));
+        assert!(table.contains("total"));
+        // Level 3 must appear (discontinuity refines to maxlevel).
+        assert!(table.lines().any(|l| l.trim_start().starts_with('3')));
+    }
+
+    #[test]
+    fn uniform_field_renders_without_panicking() {
+        let mut f = Forest::uniform(8, 1, 1);
+        f.fill_all(&|_x, _y| conservative(1.0, 0.0, 0.0, 1.0));
+        let art = ascii_density(&f, 4);
+        assert_eq!(art.lines().count(), 4);
+    }
+}

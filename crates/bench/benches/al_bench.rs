@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks for the AL layer: per-strategy selection
+//! cost over a large candidate pool, and a full AL iteration
+//! (predict → select → retrain).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use al_core::{run_trajectory, AlOptions, SelectionContext, StrategyKind};
+use al_dataset::{Dataset, Partition, Sample};
+use al_gp::FitOptions;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn synthetic_predictions(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mu_cost: Vec<f64> = (0..n).map(|_| rng.random_range(-3.0..1.0)).collect();
+    let sigma_cost: Vec<f64> = (0..n).map(|_| rng.random_range(0.01..0.5)).collect();
+    let mu_mem: Vec<f64> = (0..n).map(|_| rng.random_range(-2.0..1.5)).collect();
+    let sigma_mem: Vec<f64> = (0..n).map(|_| rng.random_range(0.01..0.5)).collect();
+    (mu_cost, sigma_cost, mu_mem, sigma_mem)
+}
+
+fn bench_strategy_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_select_400");
+    group.sample_size(50);
+    let (mu_cost, sigma_cost, mu_mem, sigma_mem) = synthetic_predictions(400, 1);
+    for kind in StrategyKind::paper_five() {
+        let strategy = kind.build();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, _| {
+                let mut rng = StdRng::seed_from_u64(2);
+                let ctx = SelectionContext {
+                    mu_cost: &mu_cost,
+                    sigma_cost: &sigma_cost,
+                    mu_mem: &mu_mem,
+                    sigma_mem: &sigma_mem,
+                    mem_limit_log: Some(1.0),
+                };
+                b.iter(|| black_box(strategy.select(&ctx, &mut rng)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn synth_dataset(n: usize) -> Dataset {
+    use al_amr_sim::SimulationConfig;
+    let samples: Vec<Sample> = (0..n)
+        .map(|i| {
+            let config = SimulationConfig {
+                p: [4u32, 8, 16, 32][i % 4],
+                mx: [8usize, 16, 24, 32][(i / 4) % 4],
+                maxlevel: [3u8, 4, 5, 6][(i / 16) % 4],
+                r0: 0.2 + 0.3 * ((i % 7) as f64 / 6.0),
+                rhoin: 0.02 + 0.48 * ((i % 5) as f64 / 4.0),
+            };
+            let work = 4f64.powi(config.maxlevel as i32 - 3)
+                * (config.mx as f64 / 8.0).powi(2);
+            Sample {
+                config,
+                wall_seconds: 10.0 * work,
+                cost_node_hours: 0.01 * work,
+                memory_mb: 0.4 * work / config.p as f64 + 0.01,
+            }
+        })
+        .collect();
+    Dataset::new(samples)
+}
+
+fn bench_al_iteration(c: &mut Criterion) {
+    // A short capped trajectory exercises the full per-iteration cycle:
+    // batch prediction over the pool, selection, and model retraining.
+    let mut group = c.benchmark_group("al_trajectory_10iter");
+    group.sample_size(10);
+    let dataset = synth_dataset(120);
+    let mut rng = StdRng::seed_from_u64(3);
+    let partition = Partition::random(dataset.len(), 10, 40, &mut rng);
+    let opts = AlOptions {
+        max_iterations: Some(10),
+        initial_fit: FitOptions {
+            n_restarts: 0,
+            max_iters: 10,
+            ..FitOptions::default()
+        },
+        mem_limit_log: Some(dataset.memory_limit_log(0.95)),
+        ..AlOptions::default()
+    };
+    for kind in [StrategyKind::MaxSigma, StrategyKind::Rgma { base: 10.0 }] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            b.iter(|| black_box(run_trajectory(&dataset, &partition, k, &opts).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategy_select, bench_al_iteration);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for the AMR substrate: single-patch sweep
+//! throughput (the flop kernel), ghost exchange, regridding and a full
+//! solver step on a refined forest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use al_amr_sim::euler::conservative;
+use al_amr_sim::patch::{Patch, Side, SweepScratch};
+use al_amr_sim::tree::{Bc, Forest};
+use al_amr_sim::{AmrSolver, SimulationConfig, SolverProfile};
+
+fn filled_patch(mx: usize) -> Patch {
+    let mut p = Patch::new(0, 0, 0, mx);
+    p.fill_with(&|x, y| {
+        conservative(1.0 + 0.5 * (6.0 * x).sin() * (4.0 * y).cos(), 0.3, -0.1, 1.0)
+    });
+    for side in Side::ALL {
+        p.extrapolate_boundary(side);
+    }
+    p
+}
+
+fn bench_patch_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("patch_sweep_x");
+    group.sample_size(20);
+    for mx in [8usize, 16, 32] {
+        group.throughput(Throughput::Elements((mx * mx) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(mx), &mx, |b, &mx| {
+            let mut patch = filled_patch(mx);
+            let mut scratch = SweepScratch::default();
+            let dt = 0.2 * patch.h() / patch.max_wave_speed();
+            b.iter(|| {
+                patch.sweep_x(black_box(dt), &mut scratch);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn shock_forest() -> Forest {
+    let mut f = Forest::uniform(16, 2, 4);
+    f.init_adaptive(
+        &|x, _y| conservative(if x < 0.43 { 2.6 } else { 1.0 }, 0.0, 0.0, 1.0),
+        0.12,
+    );
+    f
+}
+
+fn bench_ghost_fill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_ghost_fill");
+    group.sample_size(20);
+    let mut forest = shock_forest();
+    let bc = Bc::all_extrapolate();
+    group.bench_function("refined_forest", |b| {
+        b.iter(|| black_box(forest.fill_ghosts(&bc)));
+    });
+    group.finish();
+}
+
+fn bench_regrid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_regrid");
+    group.sample_size(10);
+    group.bench_function("steady_state", |b| {
+        let mut forest = shock_forest();
+        b.iter(|| black_box(forest.regrid(0.12, 0.04)));
+    });
+    group.finish();
+}
+
+fn bench_solver_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_step");
+    group.sample_size(10);
+    let config = SimulationConfig {
+        p: 8,
+        mx: 16,
+        maxlevel: 4,
+        r0: 0.35,
+        rhoin: 0.1,
+    };
+    group.bench_function("ml4_mx16", |b| {
+        let mut solver = AmrSolver::new(&config, SolverProfile::smoke());
+        b.iter(|| black_box(solver.step()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_patch_sweep,
+    bench_ghost_fill,
+    bench_regrid,
+    bench_solver_step
+);
+criterion_main!(benches);

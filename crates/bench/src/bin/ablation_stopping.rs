@@ -1,0 +1,87 @@
+//! Stopping-condition ablation (paper §V-D: "finding optimal stopping
+//! conditions in AL is a non-trivial task... multiple factors, including
+//! stabilizing predictions, stabilizing hyperparameters, and the
+//! reduction of prediction uncertainty, should influence stopping
+//! decisions"). Compares running the pool dry against the two
+//! stabilization heuristics.
+//!
+//! Run: `cargo run -p al-bench --release --bin ablation_stopping [--fast]`
+
+use al_bench::cli::Args;
+use al_bench::data::paper_dataset;
+use al_core::{run_trajectory, AlOptions, StopReason, StrategyKind};
+use al_dataset::Partition;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let dataset = paper_dataset(args.fast, args.threads);
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let partition = Partition::random(dataset.len(), 50, 200, &mut rng);
+
+    let variants: Vec<(&str, AlOptions)> = vec![
+        (
+            "run dry (300 cap)",
+            AlOptions {
+                max_iterations: Some(300),
+                seed: args.seed,
+                ..AlOptions::default()
+            },
+        ),
+        (
+            "stabilizing predictions",
+            AlOptions {
+                max_iterations: Some(300),
+                stabilization: Some((20, 0.05)),
+                seed: args.seed,
+                ..AlOptions::default()
+            },
+        ),
+        (
+            "stabilizing hyperparams",
+            AlOptions {
+                max_iterations: Some(300),
+                hyperparam_stabilization: Some((25, 0.01)),
+                seed: args.seed,
+                ..AlOptions::default()
+            },
+        ),
+    ];
+
+    println!("STOPPING-CONDITION ABLATION (RandGoodness, n_init = 50)\n");
+    println!(
+        "{:<26} {:>10} {:>12} {:>14} {:>24}",
+        "stopping rule", "iterations", "total cost", "final RMSE", "stop reason"
+    );
+    for (name, opts) in variants {
+        let t = run_trajectory(
+            &dataset,
+            &partition,
+            StrategyKind::RandGoodness { base: 10.0 },
+            &opts,
+        )
+        .expect("trajectory");
+        let reason = match t.stop_reason {
+            StopReason::ActiveExhausted => "active exhausted",
+            StopReason::AllCandidatesRefused => "all refused",
+            StopReason::MaxIterations => "max iterations",
+            StopReason::PredictionsStabilized => "predictions stabilized",
+            StopReason::HyperparamsStabilized => "hyperparams stabilized",
+        };
+        println!(
+            "{name:<26} {:>10} {:>12.3} {:>14.4} {:>24}",
+            t.len(),
+            t.total_cost(),
+            t.records.last().map(|r| r.rmse_cost).unwrap_or(f64::NAN),
+            reason
+        );
+    }
+    println!(
+        "\nexpected: the hyperparameter rule stops once warm-started refits stop\n\
+         moving — nearly free in RMSE at a fraction of the budget. The\n\
+         predictions rule is brittle on noisy RMSE curves: it can fire on a\n\
+         transient plateau, echoing the paper's §V-D caution that stopping\n\
+         decisions should combine multiple signals."
+    );
+}

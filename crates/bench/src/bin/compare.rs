@@ -1,0 +1,96 @@
+//! Cross-validated statistical comparison of the five algorithms: batch
+//! statistics plus paired sign tests on shared partitions — the summary
+//! judgement the paper's Section V builds toward.
+//!
+//! Run: `cargo run -p al-bench --release --bin compare
+//!       [--fast] [--trajectories N] [--seed N]`
+
+use al_bench::cli::Args;
+use al_bench::data::paper_dataset;
+use al_core::analysis::{format_stats_table, paired_wins, sign_test_p, summarize};
+use al_core::{run_batch, AlOptions, BatchSpec, StrategyKind};
+
+fn main() {
+    let args = Args::parse();
+    let dataset = paper_dataset(args.fast, args.threads);
+    let lmem_log = dataset.memory_limit_log_percentile(0.90);
+
+    let strategies = StrategyKind::paper_five().to_vec();
+    let opts = AlOptions {
+        mem_limit_log: Some(lmem_log),
+        max_iterations: Some(150),
+        ..AlOptions::default()
+    };
+    let spec = BatchSpec {
+        strategies: strategies.clone(),
+        n_init: 50,
+        n_test: 200,
+        n_trajectories: args.trajectories,
+        base_seed: args.seed,
+        n_threads: args.threads,
+    };
+    let started = std::time::Instant::now();
+    let results = run_batch(&dataset, &spec, &opts).expect("batch");
+    println!(
+        "STRATEGY COMPARISON: {} paired trajectories each, 150 iterations, {:.0}s\n",
+        args.trajectories,
+        started.elapsed().as_secs_f64()
+    );
+
+    let stats: Vec<_> = results.iter().map(|(_, ts)| summarize(ts)).collect();
+    println!("{}", format_stats_table(&stats));
+
+    // Paired sign tests: RGMA vs every other strategy, on final RMSE and
+    // on total regret (smaller is better for both).
+    let rgma = &results
+        .iter()
+        .find(|(k, _)| matches!(k, StrategyKind::Rgma { .. }))
+        .expect("RGMA in the lineup")
+        .1;
+    println!("paired sign tests (RGMA vs ...):");
+    println!(
+        "{:<16} {:>22} {:>10} {:>22} {:>10}",
+        "opponent", "regret wins (R-O)", "p", "RMSE wins (R-O)", "p"
+    );
+    for (kind, ts) in &results {
+        if matches!(kind, StrategyKind::Rgma { .. }) {
+            continue;
+        }
+        let (rw, ow) = paired_wins(rgma, ts, |t| t.total_regret());
+        let p_regret = sign_test_p(rw, rw + ow);
+        let (rw2, ow2) = paired_wins(rgma, ts, |t| {
+            t.records.last().map(|r| r.rmse_cost).unwrap_or(f64::NAN)
+        });
+        let p_rmse = sign_test_p(rw2, rw2 + ow2);
+        println!(
+            "{:<16} {:>12}-{:<9} {:>10.4} {:>12}-{:<9} {:>10.4}",
+            kind.label(),
+            rw,
+            ow,
+            p_regret,
+            rw2,
+            ow2,
+            p_rmse
+        );
+    }
+    println!(
+        "\n(wins on shared partitions; smaller metric wins; two-sided exact sign test)"
+    );
+
+    // Archive every trajectory for offline re-analysis (the paper's
+    // published-notebook workflow).
+    let dir = al_bench::data::dataset_path(false)
+        .parent()
+        .unwrap()
+        .join("trajectories");
+    std::fs::create_dir_all(&dir).expect("create trajectory directory");
+    let mut written = 0usize;
+    for (kind, ts) in &results {
+        for (i, t) in ts.iter().enumerate() {
+            let path = dir.join(format!("{}_{i}.csv", kind.label()));
+            al_core::io::write_trajectory_csv(t, &path).expect("write trajectory");
+            written += 1;
+        }
+    }
+    println!("archived {written} trajectories under {}", dir.display());
+}

@@ -1,0 +1,119 @@
+//! Minimal argument parsing shared by the experiment binaries.
+
+/// Common experiment options parsed from `std::env::args`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// Use the reduced-accuracy fast dataset (separate cache file).
+    pub fast: bool,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Trajectories per strategy for batch experiments.
+    pub trajectories: usize,
+    /// Base random seed.
+    pub seed: u64,
+    /// Extra flags not consumed by the common parser.
+    pub extra: Vec<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            fast: false,
+            threads: 0,
+            trajectories: 5,
+            seed: 2018,
+            extra: Vec::new(),
+        }
+    }
+}
+
+impl Args {
+    /// Parse from an iterator of argument strings (excluding argv[0]).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--fast" => out.fast = true,
+                "--threads" => {
+                    out.threads = Self::value(&mut it, "--threads")?;
+                }
+                "--trajectories" => {
+                    out.trajectories = Self::value(&mut it, "--trajectories")?;
+                }
+                "--seed" => {
+                    out.seed = Self::value(&mut it, "--seed")?;
+                }
+                other => out.extra.push(other.to_string()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse the process arguments, exiting with a message on error.
+    pub fn parse() -> Args {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!(
+                    "usage: [--fast] [--threads N] [--trajectories N] [--seed N] [experiment flags]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// True when the given extra flag was passed.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.extra.iter().any(|a| a == flag)
+    }
+
+    fn value<T: std::str::FromStr>(
+        it: &mut impl Iterator<Item = String>,
+        flag: &str,
+    ) -> Result<T, String> {
+        let v = it.next().ok_or_else(|| format!("{flag} requires a value"))?;
+        v.parse()
+            .map_err(|_| format!("{flag}: invalid value {v:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        Args::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a, Args::default());
+    }
+
+    #[test]
+    fn parses_all_common_flags() {
+        let a = parse(&["--fast", "--threads", "8", "--trajectories", "12", "--seed", "7"])
+            .unwrap();
+        assert!(a.fast);
+        assert_eq!(a.threads, 8);
+        assert_eq!(a.trajectories, 12);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn unknown_flags_go_to_extra() {
+        let a = parse(&["--weighted", "--fast"]).unwrap();
+        assert!(a.has_flag("--weighted"));
+        assert!(!a.has_flag("--nope"));
+        assert!(a.fast);
+    }
+
+    #[test]
+    fn missing_or_bad_values_error() {
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--seed", "abc"]).is_err());
+    }
+}

@@ -1,0 +1,12 @@
+#![warn(missing_docs)]
+
+//! Shared support for the experiment harness: dataset caching, a tiny CLI
+//! parser and text reporting helpers.
+//!
+//! One binary per table/figure of the paper lives in `src/bin/`; see
+//! `DESIGN.md` §3 for the experiment index and `EXPERIMENTS.md` for
+//! recorded paper-vs-measured results.
+
+pub mod cli;
+pub mod data;
+pub mod report;

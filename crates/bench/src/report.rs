@@ -1,0 +1,125 @@
+//! Text reporting helpers: aligned series tables and ASCII violin
+//! summaries, so every figure's data prints in a form directly comparable
+//! with the paper's plots.
+
+use al_linalg::stats::{histogram, Summary};
+
+/// Print a named numeric series as `index,value` CSV rows, downsampled to
+/// at most `max_rows` evenly spaced points (figures have hundreds of
+/// iterations; the trend is what matters).
+pub fn format_series(name: &str, values: &[f64], max_rows: usize) -> String {
+    let mut out = format!("# series: {name} ({} points)\n", values.len());
+    if values.is_empty() {
+        return out;
+    }
+    let stride = (values.len() / max_rows.max(1)).max(1);
+    for (i, v) in values.iter().enumerate() {
+        if i % stride == 0 || i == values.len() - 1 {
+            out.push_str(&format!("{i},{v:.6}\n"));
+        }
+    }
+    out
+}
+
+/// ASCII violin: a quantile summary plus a sideways histogram of the
+/// distribution (log10 bins work well for cost data — pass transformed
+/// values if desired).
+pub fn format_violin(label: &str, values: &[f64], bins: usize) -> String {
+    if values.is_empty() {
+        return format!("{label}: (no data)\n");
+    }
+    let s = Summary::of(values);
+    let mut out = format!(
+        "{label}: n={} min={:.4} q1={:.4} median={:.4} mean={:.4} q3={:.4} max={:.4} IQR={:.4}\n",
+        values.len(),
+        s.min,
+        s.q1,
+        s.median,
+        s.mean,
+        s.q3,
+        s.max,
+        s.iqr()
+    );
+    let span = (s.max - s.min).max(1e-12);
+    let counts = histogram(values, s.min, s.min + span, bins);
+    let peak = *counts.iter().max().unwrap_or(&1) as f64;
+    for (b, &c) in counts.iter().enumerate() {
+        let lo = s.min + span * b as f64 / bins as f64;
+        let width = ((c as f64 / peak) * 40.0).round() as usize;
+        out.push_str(&format!("  {lo:>10.4} | {} {c}\n", "#".repeat(width)));
+    }
+    out
+}
+
+/// Align several labelled curves into one CSV block with a shared
+/// iteration column: `iter,label1,label2,...`. Shorter curves print empty
+/// cells once exhausted (RGMA stops early).
+pub fn format_curves(labels: &[&str], curves: &[Vec<f64>], max_rows: usize) -> String {
+    assert_eq!(labels.len(), curves.len());
+    let n = curves.iter().map(|c| c.len()).max().unwrap_or(0);
+    let mut out = String::from("iter");
+    for l in labels {
+        out.push(',');
+        out.push_str(l);
+    }
+    out.push('\n');
+    let stride = (n / max_rows.max(1)).max(1);
+    for i in 0..n {
+        if i % stride != 0 && i != n - 1 {
+            continue;
+        }
+        out.push_str(&i.to_string());
+        for c in curves {
+            out.push(',');
+            if let Some(v) = c.get(i) {
+                out.push_str(&format!("{v:.6}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_downsamples_and_keeps_last() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = format_series("x", &values, 10);
+        assert!(s.starts_with("# series: x (100 points)"));
+        let rows = s.lines().count() - 1;
+        assert!(rows <= 12, "{rows} rows");
+        assert!(s.contains("99,99"));
+    }
+
+    #[test]
+    fn series_empty_is_header_only() {
+        assert_eq!(format_series("e", &[], 5).lines().count(), 1);
+    }
+
+    #[test]
+    fn violin_shows_quartiles_and_bars() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let v = format_violin("costs", &values, 5);
+        assert!(v.contains("median=50.5"));
+        assert!(v.contains('#'));
+        assert_eq!(v.lines().count(), 6);
+        assert!(format_violin("none", &[], 5).contains("no data"));
+    }
+
+    #[test]
+    fn curves_handle_ragged_lengths() {
+        let s = format_curves(
+            &["a", "b"],
+            &[vec![1.0, 2.0, 3.0], vec![10.0]],
+            10,
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "iter,a,b");
+        assert!(lines[1].starts_with("0,1.000000,10.000000"));
+        assert!(lines.last().unwrap().starts_with("2,3.000000,"));
+        assert!(lines.last().unwrap().ends_with(','));
+    }
+}

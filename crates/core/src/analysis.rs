@@ -1,0 +1,229 @@
+//! Cross-validated comparison of AL strategies: aggregate statistics over
+//! batches of trajectories and paired tests on shared partitions — the
+//! "robust comparison of AL strategies" the paper's offline simulator
+//! exists to enable.
+
+use crate::trajectory::Trajectory;
+use al_linalg::stats;
+
+/// Aggregate statistics of one strategy over a batch of trajectories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyStats {
+    /// Strategy label.
+    pub strategy: String,
+    /// Trajectories aggregated.
+    pub n_trajectories: usize,
+    /// Mean / sample-std of the final cost-model RMSE.
+    pub final_rmse_cost: (f64, f64),
+    /// Mean / sample-std of the final memory-model RMSE.
+    pub final_rmse_mem: (f64, f64),
+    /// Mean / sample-std of the total cumulative cost.
+    pub total_cost: (f64, f64),
+    /// Mean / sample-std of the total cumulative regret.
+    pub total_regret: (f64, f64),
+    /// Mean number of memory violations.
+    pub mean_violations: f64,
+    /// Mean trajectory length (differs across strategies when early
+    /// stopping fires).
+    pub mean_length: f64,
+}
+
+fn mean_std(v: &[f64]) -> (f64, f64) {
+    (stats::mean(v), stats::std_dev(v))
+}
+
+/// Summarize a batch of trajectories from one strategy.
+///
+/// Panics on an empty batch.
+pub fn summarize(trajectories: &[Trajectory]) -> StrategyStats {
+    assert!(!trajectories.is_empty(), "cannot summarize zero trajectories");
+    let final_of = |f: &dyn Fn(&crate::trajectory::IterationRecord) -> f64| -> Vec<f64> {
+        trajectories
+            .iter()
+            .filter_map(|t| t.records.last().map(f))
+            .collect()
+    };
+    StrategyStats {
+        strategy: trajectories[0].strategy.clone(),
+        n_trajectories: trajectories.len(),
+        final_rmse_cost: mean_std(&final_of(&|r| r.rmse_cost)),
+        final_rmse_mem: mean_std(&final_of(&|r| r.rmse_mem)),
+        total_cost: mean_std(
+            &trajectories.iter().map(|t| t.total_cost()).collect::<Vec<_>>(),
+        ),
+        total_regret: mean_std(
+            &trajectories
+                .iter()
+                .map(|t| t.total_regret())
+                .collect::<Vec<_>>(),
+        ),
+        mean_violations: stats::mean(
+            &trajectories
+                .iter()
+                .map(|t| t.violations() as f64)
+                .collect::<Vec<_>>(),
+        ),
+        mean_length: stats::mean(
+            &trajectories.iter().map(|t| t.len() as f64).collect::<Vec<_>>(),
+        ),
+    }
+}
+
+/// Paired comparison on shared partitions (as produced by
+/// [`crate::batch::run_batch`], where trajectory `t` of every strategy
+/// uses the same partition): count how often `a` beats `b` on a metric
+/// where **smaller is better**. Ties count for neither.
+pub fn paired_wins(
+    a: &[Trajectory],
+    b: &[Trajectory],
+    metric: impl Fn(&Trajectory) -> f64,
+) -> (usize, usize) {
+    assert_eq!(a.len(), b.len(), "paired comparison needs equal batches");
+    let mut wins_a = 0;
+    let mut wins_b = 0;
+    for (ta, tb) in a.iter().zip(b) {
+        let (ma, mb) = (metric(ta), metric(tb));
+        if ma < mb {
+            wins_a += 1;
+        } else if mb < ma {
+            wins_b += 1;
+        }
+    }
+    (wins_a, wins_b)
+}
+
+/// Two-sided sign-test p-value for `wins` successes out of `n` untied
+/// pairs under the null of equal strategies (exact binomial).
+pub fn sign_test_p(wins: usize, n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    assert!(wins <= n);
+    // Exact: p = 2 · P(X ≤ min(wins, n−wins)), X ~ Bin(n, 1/2), capped at 1.
+    let k = wins.min(n - wins);
+    let mut tail = 0.0f64;
+    for i in 0..=k {
+        tail += binomial_pmf(n, i);
+    }
+    (2.0 * tail).min(1.0)
+}
+
+fn binomial_pmf(n: usize, k: usize) -> f64 {
+    // C(n, k) / 2^n computed in log space for robustness.
+    let mut log_c = 0.0f64;
+    for i in 0..k {
+        log_c += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    (log_c - n as f64 * 2f64.ln()).exp()
+}
+
+/// Text table of per-strategy statistics.
+pub fn format_stats_table(stats: &[StrategyStats]) -> String {
+    let mut out = format!(
+        "{:<18} {:>4} {:>20} {:>18} {:>18} {:>10} {:>8}\n",
+        "strategy", "n", "final RMSE (±σ)", "cost (±σ)", "regret (±σ)", "violations", "length"
+    );
+    for s in stats {
+        out.push_str(&format!(
+            "{:<18} {:>4} {:>12.4} ±{:>6.4} {:>11.2} ±{:>5.2} {:>11.3} ±{:>5.3} {:>10.1} {:>8.1}\n",
+            s.strategy,
+            s.n_trajectories,
+            s.final_rmse_cost.0,
+            s.final_rmse_cost.1,
+            s.total_cost.0,
+            s.total_cost.1,
+            s.total_regret.0,
+            s.total_regret.1,
+            s.mean_violations,
+            s.mean_length
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stopping::StopReason;
+    use crate::trajectory::IterationRecord;
+
+    fn trajectory(label: &str, final_rmse: f64, total_cost: f64, regret: f64) -> Trajectory {
+        Trajectory {
+            strategy: label.into(),
+            n_init: 1,
+            initial_rmse_cost: 1.0,
+            initial_rmse_mem: 1.0,
+            records: vec![IterationRecord {
+                iteration: 0,
+                dataset_index: 0,
+                cost: total_cost,
+                memory: 1.0,
+                regret,
+                cumulative_cost: total_cost,
+                cumulative_regret: regret,
+                rmse_cost: final_rmse,
+                rmse_mem: final_rmse * 2.0,
+            }],
+            stop_reason: StopReason::ActiveExhausted,
+        }
+    }
+
+    #[test]
+    fn summarize_aggregates_correctly() {
+        let ts = vec![
+            trajectory("A", 1.0, 10.0, 0.0),
+            trajectory("A", 3.0, 20.0, 2.0),
+        ];
+        let s = summarize(&ts);
+        assert_eq!(s.strategy, "A");
+        assert_eq!(s.n_trajectories, 2);
+        assert!((s.final_rmse_cost.0 - 2.0).abs() < 1e-12);
+        assert!((s.total_cost.0 - 15.0).abs() < 1e-12);
+        assert!((s.total_regret.0 - 1.0).abs() < 1e-12);
+        assert!((s.mean_violations - 0.5).abs() < 1e-12);
+        assert!((s.mean_length - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trajectories")]
+    fn summarize_rejects_empty() {
+        summarize(&[]);
+    }
+
+    #[test]
+    fn paired_wins_counts_and_ignores_ties() {
+        let a = vec![
+            trajectory("A", 1.0, 0.0, 0.0),
+            trajectory("A", 2.0, 0.0, 0.0),
+            trajectory("A", 3.0, 0.0, 0.0),
+        ];
+        let b = vec![
+            trajectory("B", 2.0, 0.0, 0.0),
+            trajectory("B", 2.0, 0.0, 0.0),
+            trajectory("B", 1.0, 0.0, 0.0),
+        ];
+        let (wa, wb) = paired_wins(&a, &b, |t| t.records[0].rmse_cost);
+        assert_eq!((wa, wb), (1, 1));
+    }
+
+    #[test]
+    fn sign_test_matches_hand_computed_values() {
+        // n = 5, wins = 5: p = 2/32 = 0.0625.
+        assert!((sign_test_p(5, 5) - 0.0625).abs() < 1e-12);
+        // n = 5, wins = 0 symmetric.
+        assert!((sign_test_p(0, 5) - 0.0625).abs() < 1e-12);
+        // Balanced outcome: p capped at 1.
+        assert_eq!(sign_test_p(3, 6), 1.0);
+        assert_eq!(sign_test_p(0, 0), 1.0);
+        // n = 10, wins = 9: p = 2·(C(10,0)+C(10,1))/1024 = 22/1024.
+        assert!((sign_test_p(9, 10) - 22.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_table_renders_rows() {
+        let s = summarize(&[trajectory("RGMA", 1.0, 5.0, 0.5)]);
+        let table = format_stats_table(&[s]);
+        assert!(table.contains("RGMA"));
+        assert_eq!(table.lines().count(), 2);
+    }
+}

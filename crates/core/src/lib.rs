@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Cost- and memory-aware active learning (the paper's contribution).
+//!
+//! Implements Algorithm 1 (the AL procedure that trains cost and memory
+//! GPR models by selecting one experiment at a time from an Active pool),
+//! the five candidate-selection algorithms of Section IV-B —
+//! `RandUniform`, `MaxSigma`, `MinPred`, `RandGoodness` and the
+//! memory-aware `RGMA` (Algorithm 2) — and the evaluation metrics of
+//! Section V-B: non-log RMSE on the Test partition, cumulative cost, and
+//! cumulative regret with respect to a memory limit `L_mem`.
+//!
+//! [`batch::run_batch`] runs many trajectories over random partitions in
+//! parallel (the paper's `multiprocessing` batches) so strategy statistics
+//! are independent of any particular partition.
+
+pub mod analysis;
+pub mod batch;
+pub mod context;
+pub mod io;
+pub mod metrics;
+pub mod procedure;
+pub mod stopping;
+pub mod strategy;
+pub mod trajectory;
+
+pub use batch::{run_batch, BatchSpec};
+pub use context::SelectionContext;
+pub use procedure::{run_trajectory, AlOptions};
+pub use stopping::StopReason;
+pub use strategy::{SelectionStrategy, StrategyKind};
+pub use trajectory::{IterationRecord, Trajectory};

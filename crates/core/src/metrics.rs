@@ -1,0 +1,147 @@
+//! Evaluation metrics (paper Section V-B): non-log RMSE on the Test
+//! partition, cumulative cost, and cumulative regret against a memory
+//! limit.
+
+use al_dataset::transform::unlog10_response;
+use al_linalg::stats;
+
+/// RMSE between model predictions (in log10 space, as the GPs produce
+/// them) and raw responses: predictions are exponentiated back to natural
+/// units first, exactly as the paper's Eq. 10 prescribes.
+pub fn rmse_nonlog(pred_log: &[f64], actual_raw: &[f64]) -> f64 {
+    assert_eq!(pred_log.len(), actual_raw.len());
+    let errors: Vec<f64> = pred_log
+        .iter()
+        .zip(actual_raw)
+        .map(|(p, a)| unlog10_response(*p) - a)
+        .collect();
+    stats::rms(&errors)
+}
+
+/// Weighted variant (paper Eq. 12): `sqrt(Σ ρ_i e_i²)`; weights should sum
+/// to 1. Lets the experimenter prioritize accuracy in chosen regions, e.g.
+/// weighting by cost so expensive-configuration errors matter more.
+pub fn weighted_rmse_nonlog(pred_log: &[f64], actual_raw: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(pred_log.len(), actual_raw.len());
+    let errors: Vec<f64> = pred_log
+        .iter()
+        .zip(actual_raw)
+        .map(|(p, a)| unlog10_response(*p) - a)
+        .collect();
+    stats::weighted_rms(&errors, weights)
+}
+
+/// Normalized cost weights `ρ_i ∝ c_i` for the cost-weighted RMSE.
+pub fn cost_weights(costs: &[f64]) -> Vec<f64> {
+    let total: f64 = costs.iter().sum();
+    assert!(total > 0.0, "total cost must be positive");
+    costs.iter().map(|c| c / total).collect()
+}
+
+/// Running cumulative cost / cumulative regret tracker (Eq. 11).
+///
+/// Regret accounting: when a selected job's **actual** memory meets or
+/// exceeds the limit, the job is assumed to crash at the very end and its
+/// whole cost is the individual regret `IR_i = c_i`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CumulativeTracker {
+    cc: f64,
+    cr: f64,
+    violations: u32,
+}
+
+impl CumulativeTracker {
+    /// Record one selected experiment. `mem_limit_raw` is the limit in
+    /// natural units (MB); `None` disables regret accounting.
+    /// Returns the individual regret of this selection.
+    pub fn record(&mut self, cost: f64, memory: f64, mem_limit_raw: Option<f64>) -> f64 {
+        self.cc += cost;
+        let ir = match mem_limit_raw {
+            Some(limit) if memory >= limit => {
+                self.violations += 1;
+                cost
+            }
+            _ => 0.0,
+        };
+        self.cr += ir;
+        ir
+    }
+
+    /// Cumulative cost `CC = Σ c_i` so far.
+    pub fn cumulative_cost(&self) -> f64 {
+        self.cc
+    }
+
+    /// Cumulative regret `CR = Σ IR_i` so far.
+    pub fn cumulative_regret(&self) -> f64 {
+        self.cr
+    }
+
+    /// Number of memory-violating selections so far.
+    pub fn violations(&self) -> u32 {
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_nonlog_exponentiates_predictions() {
+        // Perfect log predictions ⇒ zero error.
+        let actual = [10.0, 100.0];
+        let pred = [1.0, 2.0];
+        assert!(rmse_nonlog(&pred, &actual) < 1e-12);
+        // One decade off on the second point: error = 1000 − 100 = 900.
+        let pred = [1.0, 3.0];
+        let expected = (900.0f64 * 900.0 / 2.0).sqrt();
+        assert!((rmse_nonlog(&pred, &actual) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_rmse_reduces_to_uniform() {
+        let actual = [10.0, 100.0];
+        let pred = [1.2, 1.8];
+        let uniform = [0.5, 0.5];
+        assert!(
+            (weighted_rmse_nonlog(&pred, &actual, &uniform) - rmse_nonlog(&pred, &actual)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn cost_weights_normalize() {
+        let w = cost_weights(&[1.0, 3.0]);
+        assert_eq!(w, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn cost_weights_reject_zero_total() {
+        cost_weights(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn tracker_accumulates_cost_and_regret() {
+        let mut t = CumulativeTracker::default();
+        // Under the limit: cost counted, no regret.
+        assert_eq!(t.record(2.0, 5.0, Some(10.0)), 0.0);
+        // At the limit: counts as a violation (m >= L).
+        assert_eq!(t.record(3.0, 10.0, Some(10.0)), 3.0);
+        // Above the limit.
+        assert_eq!(t.record(1.5, 20.0, Some(10.0)), 1.5);
+        assert!((t.cumulative_cost() - 6.5).abs() < 1e-12);
+        assert!((t.cumulative_regret() - 4.5).abs() < 1e-12);
+        assert_eq!(t.violations(), 2);
+    }
+
+    #[test]
+    fn tracker_without_limit_never_regrets() {
+        let mut t = CumulativeTracker::default();
+        t.record(2.0, 1e9, None);
+        assert_eq!(t.cumulative_regret(), 0.0);
+        assert_eq!(t.violations(), 0);
+        assert_eq!(t.cumulative_cost(), 2.0);
+    }
+}

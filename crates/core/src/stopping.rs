@@ -1,0 +1,192 @@
+//! Stopping conditions for AL trajectories (paper Section V-D discussion).
+
+/// Why a trajectory ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every Active sample was selected (the paper's default: AL runs
+    /// until the pool is empty).
+    ActiveExhausted,
+    /// The strategy refused all remaining candidates — RGMA's early
+    /// termination when everything is predicted to violate `L_mem`.
+    AllCandidatesRefused,
+    /// The configured iteration cap was reached.
+    MaxIterations,
+    /// The stabilizing-predictions heuristic fired: RMSE changed less than
+    /// a tolerance over a trailing window.
+    PredictionsStabilized,
+    /// The stabilizing-hyperparameters heuristic fired: the models'
+    /// hyperparameter vectors stopped moving.
+    HyperparamsStabilized,
+}
+
+/// Stabilizing-hyperparameters heuristic: stop once the step-to-step
+/// change of a parameter vector stays below `tolerance` (Euclidean norm,
+/// relative to the vector's norm) for `window` consecutive iterations.
+///
+/// The paper lists stabilizing hyperparameters alongside stabilizing
+/// predictions as practical AL stopping signals (Section V-D).
+#[derive(Debug, Clone)]
+pub struct VectorStabilization {
+    window: usize,
+    tolerance: f64,
+    last: Option<Vec<f64>>,
+    quiet_steps: usize,
+}
+
+impl VectorStabilization {
+    /// Create with a consecutive-quiet-step requirement (≥ 1) and relative
+    /// tolerance.
+    pub fn new(window: usize, tolerance: f64) -> Self {
+        assert!(window >= 1);
+        assert!(tolerance >= 0.0);
+        VectorStabilization {
+            window,
+            tolerance,
+            last: None,
+            quiet_steps: 0,
+        }
+    }
+
+    /// Record the next parameter vector; returns `true` once `window`
+    /// consecutive steps moved less than the tolerance.
+    pub fn push(&mut self, params: &[f64]) -> bool {
+        if let Some(last) = &self.last {
+            if last.len() == params.len() {
+                let delta: f64 = last
+                    .iter()
+                    .zip(params)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                let scale: f64 = params.iter().map(|p| p * p).sum::<f64>().sqrt().max(1e-12);
+                if delta / scale <= self.tolerance {
+                    self.quiet_steps += 1;
+                } else {
+                    self.quiet_steps = 0;
+                }
+            } else {
+                self.quiet_steps = 0;
+            }
+        }
+        self.last = Some(params.to_vec());
+        self.quiet_steps >= self.window
+    }
+}
+
+/// Stabilizing-predictions stopping heuristic (the paper cites this as a
+/// practical alternative to running AL dry): stop once the relative change
+/// of the tracked error over the last `window` iterations stays below
+/// `tolerance`.
+#[derive(Debug, Clone)]
+pub struct StabilizationDetector {
+    window: usize,
+    tolerance: f64,
+    history: Vec<f64>,
+}
+
+impl StabilizationDetector {
+    /// Create a detector with the given trailing window length (≥ 2) and
+    /// relative tolerance.
+    pub fn new(window: usize, tolerance: f64) -> Self {
+        assert!(window >= 2, "window must cover at least two observations");
+        assert!(tolerance >= 0.0);
+        StabilizationDetector {
+            window,
+            tolerance,
+            history: Vec::new(),
+        }
+    }
+
+    /// Record the next error value; returns `true` when predictions have
+    /// stabilized (the whole trailing window lies within `tolerance`
+    /// relative spread).
+    pub fn push(&mut self, error: f64) -> bool {
+        self.history.push(error);
+        if self.history.len() < self.window {
+            return false;
+        }
+        let tail = &self.history[self.history.len() - self.window..];
+        let lo = tail.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = tail.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if !lo.is_finite() || !hi.is_finite() || lo <= 0.0 {
+            return false;
+        }
+        (hi - lo) / lo <= self.tolerance
+    }
+
+    /// Observations recorded so far.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True before any observation was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_only_after_window_fills_and_flattens() {
+        let mut d = StabilizationDetector::new(3, 0.05);
+        assert!(!d.push(10.0));
+        assert!(!d.push(5.0));
+        assert!(!d.push(2.0), "still falling fast");
+        assert!(!d.push(1.0));
+        assert!(!d.push(1.01));
+        assert!(d.push(1.02), "flat for a full window");
+        assert_eq!(d.len(), 6);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn noisy_error_does_not_trigger() {
+        let mut d = StabilizationDetector::new(4, 0.01);
+        for e in [1.0, 1.5, 1.0, 1.5, 1.0, 1.5] {
+            assert!(!d.push(e));
+        }
+    }
+
+    #[test]
+    fn handles_non_finite_and_zero_errors() {
+        let mut d = StabilizationDetector::new(2, 0.1);
+        assert!(!d.push(f64::NAN));
+        assert!(!d.push(0.0));
+        assert!(!d.push(0.0), "zero floor never counts as stabilized");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn window_of_one_rejected() {
+        StabilizationDetector::new(1, 0.1);
+    }
+
+    #[test]
+    fn vector_stabilization_requires_consecutive_quiet_steps() {
+        let mut d = VectorStabilization::new(2, 0.01);
+        assert!(!d.push(&[1.0, 2.0])); // first observation: no delta yet
+        assert!(!d.push(&[1.0, 2.0])); // quiet step 1
+        assert!(d.push(&[1.0, 2.0001])); // quiet step 2 -> fires
+    }
+
+    #[test]
+    fn vector_stabilization_resets_on_movement() {
+        let mut d = VectorStabilization::new(2, 0.01);
+        assert!(!d.push(&[1.0, 0.0]));
+        assert!(!d.push(&[1.0, 0.0])); // quiet 1
+        assert!(!d.push(&[2.0, 0.0])); // big move resets
+        assert!(!d.push(&[2.0, 0.0])); // quiet 1
+        assert!(d.push(&[2.0, 0.0])); // quiet 2 -> fires
+    }
+
+    #[test]
+    fn vector_stabilization_handles_dimension_changes() {
+        let mut d = VectorStabilization::new(1, 0.5);
+        assert!(!d.push(&[1.0]));
+        assert!(!d.push(&[1.0, 2.0])); // dimension change = not quiet
+        assert!(d.push(&[1.0, 2.0]));
+    }
+}

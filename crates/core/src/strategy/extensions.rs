@@ -1,0 +1,155 @@
+//! Extension strategies beyond the paper's five, used by the strategy
+//! ablation: a memory-aware variant of uncertainty sampling and a tunable
+//! exploration/exploitation interpolation.
+
+use crate::context::SelectionContext;
+use crate::strategy::SelectionStrategy;
+use al_linalg::ops::argmax;
+use rand::Rng;
+
+/// MaxSigma with RGMA's feasibility filter: pure uncertainty sampling,
+/// restricted to candidates whose predicted memory satisfies `L_mem`.
+///
+/// Separates the paper's two mechanisms — memory filtering and
+/// goodness-weighted cost awareness — so the ablation can attribute regret
+/// reduction to the filter alone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxSigmaMa;
+
+impl SelectionStrategy for MaxSigmaMa {
+    fn name(&self) -> &'static str {
+        "MaxSigmaMA"
+    }
+
+    fn select(&self, ctx: &SelectionContext<'_>, _rng: &mut dyn Rng) -> Option<usize> {
+        let limit = ctx
+            .mem_limit_log
+            .expect("MaxSigmaMA requires a memory limit in the AL options");
+        (0..ctx.len())
+            .filter(|&i| ctx.mu_mem[i] < limit)
+            .max_by(|&a, &b| {
+                ctx.sigma_cost[a]
+                    .partial_cmp(&ctx.sigma_cost[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+}
+
+/// Deterministic interpolation between MaxSigma and MinPred:
+/// `argmax_i (σ_cost,i − λ·μ_cost,i)`.
+///
+/// `λ = 0` recovers MaxSigma (pure exploration); `λ = 1` recovers MinPred
+/// (which in practice exploits the cheapest prediction). Intermediate
+/// values trade exploration against cost.
+#[derive(Debug, Clone, Copy)]
+pub struct CostWeightedSigma {
+    lambda: f64,
+}
+
+impl CostWeightedSigma {
+    /// Create with trade-off weight `λ ∈ [0, 1]`.
+    pub fn new(lambda: f64) -> Self {
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+        CostWeightedSigma { lambda }
+    }
+}
+
+impl SelectionStrategy for CostWeightedSigma {
+    fn name(&self) -> &'static str {
+        "CostWeightedSigma"
+    }
+
+    fn select(&self, ctx: &SelectionContext<'_>, _rng: &mut dyn Rng) -> Option<usize> {
+        let score: Vec<f64> = ctx
+            .sigma_cost
+            .iter()
+            .zip(ctx.mu_cost)
+            .map(|(s, m)| s - self.lambda * m)
+            .collect();
+        argmax(&score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::test_util::OwnedContext;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn max_sigma_ma_filters_then_maximizes_uncertainty() {
+        let mut owned = OwnedContext::uniform(4);
+        owned.mem_limit_log = Some(1.0);
+        owned.mu_mem = vec![0.5, 0.5, 2.0, 0.5]; // candidate 2 violates
+        owned.sigma_cost = vec![0.1, 0.3, 0.9, 0.2]; // ...but is most uncertain
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(MaxSigmaMa.select(&owned.ctx(), &mut rng), Some(1));
+    }
+
+    #[test]
+    fn max_sigma_ma_refuses_when_everything_violates() {
+        let mut owned = OwnedContext::uniform(2);
+        owned.mem_limit_log = Some(-1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(MaxSigmaMa.select(&owned.ctx(), &mut rng), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory limit")]
+    fn max_sigma_ma_requires_a_limit() {
+        let owned = OwnedContext::uniform(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        MaxSigmaMa.select(&owned.ctx(), &mut rng);
+    }
+
+    #[test]
+    fn lambda_zero_matches_max_sigma() {
+        let mut owned = OwnedContext::uniform(3);
+        owned.sigma_cost = vec![0.2, 0.9, 0.5];
+        owned.mu_cost = vec![-5.0, 5.0, 0.0];
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(
+            CostWeightedSigma::new(0.0).select(&owned.ctx(), &mut rng),
+            Some(1),
+            "λ=0 ignores cost entirely"
+        );
+    }
+
+    #[test]
+    fn lambda_one_matches_min_pred() {
+        let mut owned = OwnedContext::uniform(3);
+        owned.sigma_cost = vec![0.1, 0.12, 0.11];
+        owned.mu_cost = vec![2.0, -1.0, 0.5];
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(
+            CostWeightedSigma::new(1.0).select(&owned.ctx(), &mut rng),
+            Some(1),
+            "λ=1 greedily picks the cheapest"
+        );
+    }
+
+    #[test]
+    fn intermediate_lambda_trades_off() {
+        // Candidate 0: very uncertain but expensive; candidate 1: certain
+        // and cheap. Small λ picks 0, large λ picks 1.
+        let mut owned = OwnedContext::uniform(2);
+        owned.sigma_cost = vec![1.0, 0.1];
+        owned.mu_cost = vec![2.0, -1.0];
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(
+            CostWeightedSigma::new(0.1).select(&owned.ctx(), &mut rng),
+            Some(0)
+        );
+        assert_eq!(
+            CostWeightedSigma::new(0.9).select(&owned.ctx(), &mut rng),
+            Some(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn lambda_out_of_range_rejected() {
+        CostWeightedSigma::new(1.5);
+    }
+}

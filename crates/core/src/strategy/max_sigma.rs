@@ -1,0 +1,55 @@
+//! Uncertainty sampling on the cost model (the paper's MaxSigma, called
+//! Variance Reduction in the authors' earlier work).
+
+use crate::context::SelectionContext;
+use crate::strategy::SelectionStrategy;
+use al_linalg::ops::argmax;
+use rand::Rng;
+
+/// Select the candidate with the largest cost-prediction uncertainty
+/// `σ_cost`. Pure exploration: it chases the least-known region of the
+/// input space regardless of how expensive the experiment will be.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxSigma;
+
+impl SelectionStrategy for MaxSigma {
+    fn name(&self) -> &'static str {
+        "MaxSigma"
+    }
+
+    fn select(&self, ctx: &SelectionContext<'_>, _rng: &mut dyn Rng) -> Option<usize> {
+        argmax(ctx.sigma_cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::test_util::OwnedContext;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn picks_largest_sigma() {
+        let mut owned = OwnedContext::uniform(4);
+        owned.sigma_cost = vec![0.1, 0.9, 0.5, 0.2];
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(MaxSigma.select(&owned.ctx(), &mut rng), Some(1));
+    }
+
+    #[test]
+    fn ignores_cost_mean_entirely() {
+        let mut owned = OwnedContext::uniform(3);
+        owned.sigma_cost = vec![0.5, 0.6, 0.4];
+        owned.mu_cost = vec![-100.0, 100.0, 0.0]; // wildly different costs
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(MaxSigma.select(&owned.ctx(), &mut rng), Some(1));
+    }
+
+    #[test]
+    fn empty_pool_returns_none() {
+        let owned = OwnedContext::uniform(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(MaxSigma.select(&owned.ctx(), &mut rng), None);
+    }
+}

@@ -1,0 +1,66 @@
+//! The greedy "cost-efficient" algorithm the paper names MinPred.
+
+use crate::context::SelectionContext;
+use crate::strategy::SelectionStrategy;
+use al_linalg::ops::argmax;
+use rand::Rng;
+
+/// Select `argmax_i (σ_cost,i − μ_cost,i)` — in the log10 space this is
+/// the maximal uncertainty-to-cost ratio in natural units.
+///
+/// As the paper observes, the variations of `μ_cost` dwarf those of
+/// `σ_cost` (the responses span orders of magnitude while posterior
+/// standard deviations stay comparable), so in practice this degrades to
+/// greedily selecting the **cheapest predicted** candidate — hence the
+/// name. Pure exploitation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinPred;
+
+impl SelectionStrategy for MinPred {
+    fn name(&self) -> &'static str {
+        "MinPred"
+    }
+
+    fn select(&self, ctx: &SelectionContext<'_>, _rng: &mut dyn Rng) -> Option<usize> {
+        let score: Vec<f64> = ctx
+            .sigma_cost
+            .iter()
+            .zip(ctx.mu_cost)
+            .map(|(s, m)| s - m)
+            .collect();
+        argmax(&score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::test_util::OwnedContext;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degenerates_to_cheapest_when_sigmas_are_comparable() {
+        let mut owned = OwnedContext::uniform(4);
+        owned.mu_cost = vec![2.0, -1.0, 0.5, 1.0]; // candidate 1 is cheapest
+        owned.sigma_cost = vec![0.1, 0.12, 0.09, 0.11];
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(MinPred.select(&owned.ctx(), &mut rng), Some(1));
+    }
+
+    #[test]
+    fn large_uncertainty_can_still_win_in_principle() {
+        let mut owned = OwnedContext::uniform(2);
+        owned.mu_cost = vec![0.0, 0.5];
+        owned.sigma_cost = vec![0.0, 1.0]; // σ−μ: 0.0 vs 0.5
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(MinPred.select(&owned.ctx(), &mut rng), Some(1));
+    }
+
+    #[test]
+    fn empty_pool_returns_none() {
+        let owned = OwnedContext::uniform(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(MinPred.select(&owned.ctx(), &mut rng), None);
+    }
+}

@@ -1,0 +1,297 @@
+//! The five candidate-selection algorithms of the paper's Section IV-B.
+
+mod extensions;
+mod max_sigma;
+mod min_pred;
+mod rand_goodness;
+mod rand_uniform;
+mod rgma;
+
+pub use extensions::{CostWeightedSigma, MaxSigmaMa};
+pub use max_sigma::MaxSigma;
+pub use min_pred::MinPred;
+pub use rand_goodness::RandGoodness;
+pub use rand_uniform::RandUniform;
+pub use rgma::Rgma;
+
+use crate::context::SelectionContext;
+use rand::Rng;
+
+/// A candidate-selection algorithm: given the models' predictions for all
+/// remaining candidates, pick the index of the next experiment to run.
+///
+/// Returning `None` signals that the algorithm refuses every remaining
+/// candidate (RGMA does this when all predictions exceed the memory limit),
+/// which terminates the trajectory early.
+pub trait SelectionStrategy: Send {
+    /// Display name (matches the paper's algorithm names).
+    fn name(&self) -> &'static str;
+
+    /// Select the next candidate, or `None` to stop.
+    fn select(&self, ctx: &SelectionContext<'_>, rng: &mut dyn Rng) -> Option<usize>;
+}
+
+/// Runtime-selectable strategy family — the unit of comparison in every
+/// figure of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use al_core::{SelectionContext, StrategyKind};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// // Three candidates; the middle one is the most uncertain.
+/// let mu = [0.0, 0.5, 1.0];
+/// let sigma = [0.1, 0.9, 0.2];
+/// let ctx = SelectionContext {
+///     mu_cost: &mu,
+///     sigma_cost: &sigma,
+///     mu_mem: &mu,
+///     sigma_mem: &sigma,
+///     mem_limit_log: None,
+/// };
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let pick = StrategyKind::MaxSigma.build().select(&ctx, &mut rng);
+/// assert_eq!(pick, Some(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StrategyKind {
+    /// Uniform random sampling (the non-adaptive reference point).
+    RandUniform,
+    /// Uncertainty sampling on the cost model (`argmax σ_cost`).
+    MaxSigma,
+    /// Greedy "cost-efficient" selection `argmax(σ_cost − μ_cost)`, which
+    /// in practice degrades to picking the cheapest prediction.
+    MinPred,
+    /// Randomized goodness sampling with `g = base^(σ_cost − μ_cost)`.
+    RandGoodness {
+        /// Exponent base (the paper argues for 10, matching the log10
+        /// response transform).
+        base: f64,
+    },
+    /// RandGoodness with memory awareness: candidates whose predicted
+    /// memory exceeds `L_mem` are filtered out first (Algorithm 2).
+    Rgma {
+        /// Exponent base for the goodness distribution.
+        base: f64,
+    },
+    /// *Extension:* MaxSigma restricted to memory-feasible candidates —
+    /// isolates the effect of the RGMA filter from goodness weighting.
+    MaxSigmaMa,
+    /// *Extension:* deterministic `argmax(σ − λμ)` interpolating between
+    /// MaxSigma (`λ = 0`) and MinPred (`λ = 1`).
+    CostWeightedSigma {
+        /// Exploration/exploitation trade-off weight in `[0, 1]`.
+        lambda: f64,
+    },
+}
+
+impl StrategyKind {
+    /// The paper's five algorithms with default parameters.
+    pub fn paper_five() -> [StrategyKind; 5] {
+        [
+            StrategyKind::RandUniform,
+            StrategyKind::MaxSigma,
+            StrategyKind::MinPred,
+            StrategyKind::RandGoodness { base: 10.0 },
+            StrategyKind::Rgma { base: 10.0 },
+        ]
+    }
+
+    /// The four memory-oblivious algorithms (Fig. 2's comparison).
+    pub fn cost_only_four() -> [StrategyKind; 4] {
+        [
+            StrategyKind::RandUniform,
+            StrategyKind::MaxSigma,
+            StrategyKind::MinPred,
+            StrategyKind::RandGoodness { base: 10.0 },
+        ]
+    }
+
+    /// Instantiate the strategy.
+    pub fn build(&self) -> Box<dyn SelectionStrategy> {
+        match *self {
+            StrategyKind::RandUniform => Box::new(RandUniform),
+            StrategyKind::MaxSigma => Box::new(MaxSigma),
+            StrategyKind::MinPred => Box::new(MinPred),
+            StrategyKind::RandGoodness { base } => Box::new(RandGoodness::new(base)),
+            StrategyKind::Rgma { base } => Box::new(Rgma::new(base)),
+            StrategyKind::MaxSigmaMa => Box::new(MaxSigmaMa),
+            StrategyKind::CostWeightedSigma { lambda } => {
+                Box::new(CostWeightedSigma::new(lambda))
+            }
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StrategyKind::RandUniform => "RandUniform",
+            StrategyKind::MaxSigma => "MaxSigma",
+            StrategyKind::MinPred => "MinPred",
+            StrategyKind::RandGoodness { .. } => "RandGoodness",
+            StrategyKind::Rgma { .. } => "RGMA",
+            StrategyKind::MaxSigmaMa => "MaxSigmaMA",
+            StrategyKind::CostWeightedSigma { .. } => "CostWeightedSigma",
+        }
+    }
+
+    /// Whether the strategy consults the memory model.
+    pub fn is_memory_aware(&self) -> bool {
+        matches!(
+            self,
+            StrategyKind::Rgma { .. } | StrategyKind::MaxSigmaMa
+        )
+    }
+}
+
+/// Compute the normalized goodness distribution `g_i ∝ base^(σ_i − μ_i)`
+/// over the given candidate indices (shared by RandGoodness and RGMA).
+///
+/// Returns `None` when the weights cannot form a distribution (no
+/// candidates, or degenerate values).
+pub(crate) fn goodness_weights(
+    base: f64,
+    mu: &[f64],
+    sigma: &[f64],
+    indices: &[usize],
+) -> Option<Vec<f64>> {
+    if indices.is_empty() {
+        return None;
+    }
+    // Subtract the max exponent before exponentiating for numerical
+    // stability; normalization cancels the shift.
+    let exps: Vec<f64> = indices.iter().map(|&i| sigma[i] - mu[i]).collect();
+    let max_e = exps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max_e.is_finite() {
+        return None;
+    }
+    let weights: Vec<f64> = exps
+        .iter()
+        .map(|e| base.powf(e - max_e))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        return None;
+    }
+    Some(weights.iter().map(|w| w / total).collect())
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+
+    /// A context whose four vectors are owned, for strategy unit tests.
+    pub struct OwnedContext {
+        pub mu_cost: Vec<f64>,
+        pub sigma_cost: Vec<f64>,
+        pub mu_mem: Vec<f64>,
+        pub sigma_mem: Vec<f64>,
+        pub mem_limit_log: Option<f64>,
+    }
+
+    impl OwnedContext {
+        pub fn uniform(n: usize) -> Self {
+            OwnedContext {
+                mu_cost: vec![0.0; n],
+                sigma_cost: vec![1.0; n],
+                mu_mem: vec![0.0; n],
+                sigma_mem: vec![1.0; n],
+                mem_limit_log: None,
+            }
+        }
+
+        pub fn ctx(&self) -> SelectionContext<'_> {
+            SelectionContext {
+                mu_cost: &self.mu_cost,
+                sigma_cost: &self.sigma_cost,
+                mu_mem: &self.mu_mem,
+                sigma_mem: &self.sigma_mem,
+                mem_limit_log: self.mem_limit_log,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_build_matching_strategies() {
+        for kind in StrategyKind::paper_five() {
+            let s = kind.build();
+            assert_eq!(s.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn only_rgma_is_memory_aware() {
+        for kind in StrategyKind::paper_five() {
+            assert_eq!(
+                kind.is_memory_aware(),
+                matches!(kind, StrategyKind::Rgma { .. })
+            );
+        }
+        assert_eq!(StrategyKind::cost_only_four().len(), 4);
+        assert!(StrategyKind::cost_only_four()
+            .iter()
+            .all(|k| !k.is_memory_aware()));
+    }
+
+    #[test]
+    fn extension_kinds_build_and_label() {
+        let kinds = [
+            StrategyKind::MaxSigmaMa,
+            StrategyKind::CostWeightedSigma { lambda: 0.5 },
+        ];
+        for kind in kinds {
+            assert_eq!(kind.build().name(), kind.label());
+        }
+        assert!(StrategyKind::MaxSigmaMa.is_memory_aware());
+        assert!(!StrategyKind::CostWeightedSigma { lambda: 0.5 }.is_memory_aware());
+        // The paper's five remain exactly five.
+        assert_eq!(StrategyKind::paper_five().len(), 5);
+    }
+
+    #[test]
+    fn goodness_weights_normalize_and_order() {
+        // Candidate 1 is cheaper (lower μ) ⇒ higher weight.
+        let mu = [1.0, -1.0, 0.0];
+        let sigma = [0.1, 0.1, 0.1];
+        let w = goodness_weights(10.0, &mu, &sigma, &[0, 1, 2]).unwrap();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w[1] > w[2] && w[2] > w[0]);
+        // Base 10: Δ(σ−μ) = 1 decade between candidates 1 and 2 ⇒ 10×,
+        // and 2 decades between 1 and 0 ⇒ 100×.
+        assert!((w[1] / w[2] - 10.0).abs() < 1e-9);
+        assert!((w[1] / w[0] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn goodness_weights_subset_of_indices() {
+        let mu = [0.0, 5.0, 0.0];
+        let sigma = [0.0; 3];
+        let w = goodness_weights(10.0, &mu, &sigma, &[0, 2]).unwrap();
+        assert_eq!(w.len(), 2);
+        assert!((w[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goodness_weights_degenerate_inputs() {
+        assert!(goodness_weights(10.0, &[], &[], &[]).is_none());
+        let mu = [f64::NAN];
+        let sigma = [0.0];
+        assert!(goodness_weights(10.0, &mu, &sigma, &[0]).is_none());
+    }
+
+    #[test]
+    fn higher_base_skews_distribution_more() {
+        let mu = [0.0, 1.0];
+        let sigma = [0.0, 0.0];
+        let w10 = goodness_weights(10.0, &mu, &sigma, &[0, 1]).unwrap();
+        let w100 = goodness_weights(100.0, &mu, &sigma, &[0, 1]).unwrap();
+        assert!(w100[0] > w10[0], "base 100 concentrates more on the cheap candidate");
+    }
+}

@@ -1,0 +1,107 @@
+//! Randomized goodness sampling — MinPred's exploration-capable sibling.
+
+use crate::context::SelectionContext;
+use crate::strategy::{goodness_weights, SelectionStrategy};
+use al_linalg::rng::weighted_index;
+use rand::Rng;
+
+/// Sample the next candidate from the discrete distribution
+/// `g_i ∝ base^(σ_cost,i − μ_cost,i)` (normalized to 1).
+///
+/// Base 10 matches the log10 response transform: a candidate predicted 10×
+/// cheaper is 10× more likely to be drawn. Most draws land near MinPred's
+/// choice, but occasionally an expensive, informative candidate is
+/// selected — the exploration the paper adds to avoid exploiting only the
+/// cheap corner of the input space.
+#[derive(Debug, Clone, Copy)]
+pub struct RandGoodness {
+    base: f64,
+}
+
+impl RandGoodness {
+    /// Create with the given exponent base (> 1; the paper uses 10).
+    pub fn new(base: f64) -> Self {
+        assert!(base > 1.0, "goodness base must exceed 1");
+        RandGoodness { base }
+    }
+
+    /// The exponent base.
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+}
+
+impl SelectionStrategy for RandGoodness {
+    fn name(&self) -> &'static str {
+        "RandGoodness"
+    }
+
+    fn select(&self, ctx: &SelectionContext<'_>, rng: &mut dyn Rng) -> Option<usize> {
+        let all: Vec<usize> = (0..ctx.len()).collect();
+        let weights = goodness_weights(self.base, ctx.mu_cost, ctx.sigma_cost, &all)?;
+        weighted_index(rng, &weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::test_util::OwnedContext;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn favors_cheap_candidates_ten_to_one_per_decade() {
+        let mut owned = OwnedContext::uniform(2);
+        owned.mu_cost = vec![0.0, 1.0]; // one decade apart
+        owned.sigma_cost = vec![0.2, 0.2];
+        let s = RandGoodness::new(10.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 2];
+        for _ in 0..22_000 {
+            counts[s.select(&owned.ctx(), &mut rng).unwrap()] += 1;
+        }
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((ratio - 10.0).abs() < 1.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn still_explores_expensive_candidates() {
+        let mut owned = OwnedContext::uniform(2);
+        owned.mu_cost = vec![0.0, 2.0]; // 100× more expensive
+        owned.sigma_cost = vec![0.1, 0.1];
+        let s = RandGoodness::new(10.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let picked_expensive = (0..20_000)
+            .filter(|_| s.select(&owned.ctx(), &mut rng) == Some(1))
+            .count();
+        assert!(picked_expensive > 50, "exploration happens: {picked_expensive}");
+        assert!(picked_expensive < 1000, "but rarely: {picked_expensive}");
+    }
+
+    #[test]
+    fn uncertainty_raises_selection_probability() {
+        let mut owned = OwnedContext::uniform(2);
+        owned.mu_cost = vec![0.0, 0.0];
+        owned.sigma_cost = vec![0.05, 1.05]; // candidate 1 far less known
+        let s = RandGoodness::new(10.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let picked_uncertain = (0..10_000)
+            .filter(|_| s.select(&owned.ctx(), &mut rng) == Some(1))
+            .count();
+        assert!(picked_uncertain > 8500, "{picked_uncertain}");
+    }
+
+    #[test]
+    fn empty_pool_returns_none() {
+        let owned = OwnedContext::uniform(0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(RandGoodness::new(10.0).select(&owned.ctx(), &mut rng), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "base must exceed")]
+    fn base_must_exceed_one() {
+        RandGoodness::new(1.0);
+    }
+}

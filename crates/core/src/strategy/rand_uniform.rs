@@ -1,0 +1,52 @@
+//! Uniform random sampling — the paper's non-adaptive reference algorithm.
+
+use crate::context::SelectionContext;
+use crate::strategy::SelectionStrategy;
+use rand::{Rng, RngExt};
+
+/// Select uniformly at random among the remaining candidates, ignoring the
+/// models entirely. Useful only as a comparison baseline: in sequential AL
+/// it pays the full retraining cost without using any of the information.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandUniform;
+
+impl SelectionStrategy for RandUniform {
+    fn name(&self) -> &'static str {
+        "RandUniform"
+    }
+
+    fn select(&self, ctx: &SelectionContext<'_>, rng: &mut dyn Rng) -> Option<usize> {
+        if ctx.is_empty() {
+            return None;
+        }
+        Some(rng.random_range(0..ctx.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::test_util::OwnedContext;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn covers_all_candidates_roughly_uniformly() {
+        let owned = OwnedContext::uniform(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[RandUniform.select(&owned.ctx(), &mut rng).unwrap()] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn empty_pool_returns_none() {
+        let owned = OwnedContext::uniform(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(RandUniform.select(&owned.ctx(), &mut rng), None);
+    }
+}

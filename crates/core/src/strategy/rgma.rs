@@ -1,0 +1,128 @@
+//! RGMA — RandGoodness with Memory Awareness (the paper's Algorithm 2 and
+//! primary contribution).
+
+use crate::context::SelectionContext;
+use crate::strategy::{goodness_weights, SelectionStrategy};
+use al_linalg::rng::weighted_index;
+use rand::Rng;
+
+/// Memory-aware extension of RandGoodness: candidates whose **predicted**
+/// memory `μ_mem` meets or exceeds the limit `L_mem` are marked
+/// undesirable and removed; the goodness draw happens over the satisfying
+/// remainder only.
+///
+/// When every remaining candidate is predicted to violate the limit,
+/// `select` returns `None`, which the AL procedure treats as early
+/// termination — the paper's stopping rule "triggered only when all
+/// remaining samples are likely to exceed the memory limit".
+#[derive(Debug, Clone, Copy)]
+pub struct Rgma {
+    base: f64,
+}
+
+impl Rgma {
+    /// Create with the given goodness base (> 1; the paper uses 10).
+    pub fn new(base: f64) -> Self {
+        assert!(base > 1.0, "goodness base must exceed 1");
+        Rgma { base }
+    }
+}
+
+impl SelectionStrategy for Rgma {
+    fn name(&self) -> &'static str {
+        "RGMA"
+    }
+
+    fn select(&self, ctx: &SelectionContext<'_>, rng: &mut dyn Rng) -> Option<usize> {
+        let limit = ctx
+            .mem_limit_log
+            .expect("RGMA requires a memory limit in the AL options");
+        // Algorithm 2, lines 1–2: classify candidates as satisfying
+        // (μ_mem < L_mem) or exceeding.
+        let satisfying: Vec<usize> = (0..ctx.len())
+            .filter(|&i| ctx.mu_mem[i] < limit)
+            .collect();
+        // Lines 3–5: goodness-weighted draw over the satisfying set.
+        let weights = goodness_weights(self.base, ctx.mu_cost, ctx.sigma_cost, &satisfying)?;
+        weighted_index(rng, &weights).map(|k| satisfying[k])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::test_util::OwnedContext;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx_with_limit(n: usize, limit: f64) -> OwnedContext {
+        let mut owned = OwnedContext::uniform(n);
+        owned.mem_limit_log = Some(limit);
+        owned
+    }
+
+    #[test]
+    fn never_selects_predicted_violators() {
+        let mut owned = ctx_with_limit(4, 1.0);
+        owned.mu_mem = vec![0.5, 1.5, 0.8, 2.0]; // 1 and 3 exceed
+        owned.mu_cost = vec![0.0; 4];
+        owned.sigma_cost = vec![0.1; 4];
+        let s = Rgma::new(10.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..2000 {
+            let pick = s.select(&owned.ctx(), &mut rng).unwrap();
+            assert!(pick == 0 || pick == 2, "picked violator {pick}");
+        }
+    }
+
+    #[test]
+    fn limit_is_exclusive_at_the_boundary() {
+        // μ_mem exactly equal to L_mem counts as exceeding (μ < L required).
+        let mut owned = ctx_with_limit(2, 1.0);
+        owned.mu_mem = vec![1.0, 0.9];
+        let s = Rgma::new(10.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(s.select(&owned.ctx(), &mut rng), Some(1));
+        }
+    }
+
+    #[test]
+    fn all_violating_terminates() {
+        let mut owned = ctx_with_limit(3, 0.0);
+        owned.mu_mem = vec![0.5, 1.0, 2.0];
+        let s = Rgma::new(10.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        assert_eq!(s.select(&owned.ctx(), &mut rng), None);
+    }
+
+    #[test]
+    fn goodness_ordering_applies_within_satisfying_set() {
+        let mut owned = ctx_with_limit(3, 10.0); // nothing filtered
+        owned.mu_cost = vec![0.0, 2.0, 0.0];
+        owned.sigma_cost = vec![0.1, 0.1, 0.1];
+        let s = Rgma::new(10.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[s.select(&owned.ctx(), &mut rng).unwrap()] += 1;
+        }
+        assert!(counts[1] < counts[0] / 10, "{counts:?}");
+        assert!(counts[1] < counts[2] / 10, "{counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "memory limit")]
+    fn missing_limit_is_a_configuration_bug() {
+        let owned = OwnedContext::uniform(2);
+        let mut rng = StdRng::seed_from_u64(10);
+        Rgma::new(10.0).select(&owned.ctx(), &mut rng);
+    }
+
+    #[test]
+    fn empty_pool_returns_none() {
+        let owned = ctx_with_limit(0, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(Rgma::new(10.0).select(&owned.ctx(), &mut rng), None);
+    }
+}

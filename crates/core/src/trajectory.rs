@@ -1,0 +1,204 @@
+//! Per-iteration records of one AL trajectory — the raw material every
+//! figure of the paper is computed from.
+
+use crate::stopping::StopReason;
+
+/// What happened at one AL iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// Iteration number (0-based).
+    pub iteration: usize,
+    /// Dataset row index of the selected experiment.
+    pub dataset_index: usize,
+    /// Actual cost of the selected experiment (node-hours).
+    pub cost: f64,
+    /// Actual memory of the selected experiment (MB).
+    pub memory: f64,
+    /// Individual regret `IR_i` of this selection (Eq. 11).
+    pub regret: f64,
+    /// Cumulative cost `CC` up to and including this iteration.
+    pub cumulative_cost: f64,
+    /// Cumulative regret `CR` up to and including this iteration.
+    pub cumulative_regret: f64,
+    /// Non-log RMSE of the cost model on the Test partition after
+    /// retraining with this sample.
+    pub rmse_cost: f64,
+    /// Non-log RMSE of the memory model on the Test partition after
+    /// retraining with this sample.
+    pub rmse_mem: f64,
+}
+
+/// A complete AL run: strategy, per-iteration records, and how it ended.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    /// Strategy label (e.g. `"RGMA"`).
+    pub strategy: String,
+    /// Size of the Initial partition used.
+    pub n_init: usize,
+    /// Cost-model RMSE before any AL selection (after the initial fit).
+    pub initial_rmse_cost: f64,
+    /// Memory-model RMSE before any AL selection.
+    pub initial_rmse_mem: f64,
+    /// One record per executed iteration, in order.
+    pub records: Vec<IterationRecord>,
+    /// Why the trajectory stopped.
+    pub stop_reason: StopReason,
+}
+
+impl Trajectory {
+    /// Number of AL iterations executed.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no iterations ran.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Actual costs of the first `n` selections (Fig. 2's violin input).
+    pub fn selected_costs(&self, n: usize) -> Vec<f64> {
+        self.records.iter().take(n).map(|r| r.cost).collect()
+    }
+
+    /// Final cumulative cost.
+    pub fn total_cost(&self) -> f64 {
+        self.records.last().map_or(0.0, |r| r.cumulative_cost)
+    }
+
+    /// Final cumulative regret.
+    pub fn total_regret(&self) -> f64 {
+        self.records.last().map_or(0.0, |r| r.cumulative_regret)
+    }
+
+    /// Number of memory-violating selections.
+    pub fn violations(&self) -> usize {
+        self.records.iter().filter(|r| r.regret > 0.0).count()
+    }
+}
+
+/// Average a per-iteration quantity across trajectories of possibly
+/// different lengths (RGMA stops early): entry `i` of the result averages
+/// `f(records[i])` over every trajectory that reached iteration `i`.
+pub fn mean_curve(trajectories: &[Trajectory], f: impl Fn(&IterationRecord) -> f64) -> Vec<f64> {
+    let max_len = trajectories.iter().map(|t| t.len()).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(max_len);
+    for i in 0..max_len {
+        let values: Vec<f64> = trajectories
+            .iter()
+            .filter_map(|t| t.records.get(i))
+            .map(&f)
+            .collect();
+        out.push(al_linalg::stats::mean(&values));
+    }
+    out
+}
+
+/// Per-iteration quantile of a quantity across trajectories (e.g. the
+/// median and quartile band of Fig. 3's regret curves). Entry `i` is the
+/// `q`-quantile of `f(records[i])` over trajectories that reached `i`.
+pub fn quantile_curve(
+    trajectories: &[Trajectory],
+    q: f64,
+    f: impl Fn(&IterationRecord) -> f64,
+) -> Vec<f64> {
+    let max_len = trajectories.iter().map(|t| t.len()).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(max_len);
+    for i in 0..max_len {
+        let values: Vec<f64> = trajectories
+            .iter()
+            .filter_map(|t| t.records.get(i))
+            .map(&f)
+            .collect();
+        out.push(al_linalg::stats::quantile(&values, q));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(i: usize, cost: f64, regret: f64) -> IterationRecord {
+        IterationRecord {
+            iteration: i,
+            dataset_index: i,
+            cost,
+            memory: 1.0,
+            regret,
+            cumulative_cost: 0.0,
+            cumulative_regret: 0.0,
+            rmse_cost: 1.0 / (i + 1) as f64,
+            rmse_mem: 2.0 / (i + 1) as f64,
+        }
+    }
+
+    fn trajectory(n: usize) -> Trajectory {
+        let mut records: Vec<IterationRecord> =
+            (0..n).map(|i| record(i, (i + 1) as f64, 0.0)).collect();
+        let mut cc = 0.0;
+        for r in &mut records {
+            cc += r.cost;
+            r.cumulative_cost = cc;
+        }
+        Trajectory {
+            strategy: "test".into(),
+            n_init: 1,
+            initial_rmse_cost: 5.0,
+            initial_rmse_mem: 6.0,
+            records,
+            stop_reason: StopReason::ActiveExhausted,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let t = trajectory(3);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.selected_costs(2), vec![1.0, 2.0]);
+        assert_eq!(t.selected_costs(10).len(), 3);
+        assert!((t.total_cost() - 6.0).abs() < 1e-12);
+        assert_eq!(t.total_regret(), 0.0);
+        assert_eq!(t.violations(), 0);
+    }
+
+    #[test]
+    fn violations_count_positive_regrets() {
+        let mut t = trajectory(3);
+        t.records[1].regret = 2.0;
+        assert_eq!(t.violations(), 1);
+    }
+
+    #[test]
+    fn mean_curve_handles_ragged_lengths() {
+        let a = trajectory(3);
+        let b = trajectory(1);
+        let curve = mean_curve(&[a, b], |r| r.cost);
+        assert_eq!(curve.len(), 3);
+        assert!((curve[0] - 1.0).abs() < 1e-12); // both contribute 1.0
+        assert!((curve[1] - 2.0).abs() < 1e-12); // only the longer one
+        assert!((curve[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_curve_of_nothing_is_empty() {
+        assert!(mean_curve(&[], |r| r.cost).is_empty());
+    }
+
+    #[test]
+    fn quantile_curve_brackets_mean_curve() {
+        let ts: Vec<Trajectory> = (1..=4).map(|n| trajectory(n * 2)).collect();
+        let lo = quantile_curve(&ts, 0.0, |r| r.cost);
+        let mid = mean_curve(&ts, |r| r.cost);
+        let hi = quantile_curve(&ts, 1.0, |r| r.cost);
+        assert_eq!(lo.len(), mid.len());
+        for i in 0..mid.len() {
+            assert!(lo[i] <= mid[i] + 1e-12 && mid[i] <= hi[i] + 1e-12);
+        }
+        // The median of identical trajectories equals their value.
+        let same = vec![trajectory(3), trajectory(3)];
+        let med = quantile_curve(&same, 0.5, |r| r.cost);
+        assert_eq!(med, vec![1.0, 2.0, 3.0]);
+    }
+}

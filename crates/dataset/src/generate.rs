@@ -1,0 +1,136 @@
+//! Parallel dataset generation: run one AMR simulation per job across a
+//! pool of worker threads (the local stand-in for the paper's >1K SLURM
+//! jobs on Edison).
+
+use crate::sample::Sample;
+use al_amr_sim::{run_simulation, MachineModel, SimulationConfig, SolverProfile};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Options for [`generate_parallel`].
+#[derive(Debug, Clone, Copy)]
+pub struct GenerateOptions {
+    /// Solver accuracy/horizon profile.
+    pub profile: SolverProfile,
+    /// Machine model translating work into responses.
+    pub machine: MachineModel,
+    /// Worker threads (0 = one per available core).
+    pub n_threads: usize,
+}
+
+impl Default for GenerateOptions {
+    fn default() -> Self {
+        GenerateOptions {
+            profile: SolverProfile::paper(),
+            machine: MachineModel::default(),
+            n_threads: 0,
+        }
+    }
+}
+
+/// Run every `(config, repeat)` job and return samples in job order.
+///
+/// Work is distributed dynamically via an atomic cursor so the expensive
+/// tail (deep `maxlevel`, large `mx`) does not serialize behind one thread.
+/// Results are deterministic regardless of thread count because each job's
+/// noise seed depends only on `(config, repeat)`.
+pub fn generate_parallel(
+    jobs: &[(SimulationConfig, u32)],
+    opts: &GenerateOptions,
+) -> Vec<Sample> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let n_threads = if opts.n_threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        opts.n_threads
+    }
+    .min(jobs.len());
+
+    let cursor = AtomicUsize::new(0);
+    let mut per_thread: Vec<Vec<(usize, Sample)>> = Vec::new();
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_threads);
+        for _ in 0..n_threads {
+            let cursor = &cursor;
+            handles.push(scope.spawn(move |_| {
+                let mut local: Vec<(usize, Sample)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let (config, repeat) = jobs[i];
+                    let outcome = run_simulation(&config, opts.profile, &opts.machine, repeat);
+                    local.push((i, Sample::from(outcome)));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            per_thread.push(h.join().expect("worker thread panicked"));
+        }
+    })
+    .expect("thread scope");
+
+    let mut out: Vec<Option<Sample>> = vec![None; jobs.len()];
+    for (i, sample) in per_thread.into_iter().flatten() {
+        out[i] = Some(sample);
+    }
+    out.into_iter()
+        .map(|s| s.expect("every job produced a sample"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::SweepGrid;
+
+    fn smoke_opts(n_threads: usize) -> GenerateOptions {
+        GenerateOptions {
+            profile: SolverProfile::smoke(),
+            machine: MachineModel::default(),
+            n_threads,
+        }
+    }
+
+    #[test]
+    fn empty_job_list_yields_empty_dataset() {
+        assert!(generate_parallel(&[], &smoke_opts(2)).is_empty());
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial() {
+        let jobs = SweepGrid::small().draw_jobs(6, 2, 3);
+        let serial = generate_parallel(&jobs, &smoke_opts(1));
+        let parallel = generate_parallel(&jobs, &smoke_opts(4));
+        assert_eq!(serial.len(), 8);
+        assert_eq!(serial, parallel, "thread count must not change results");
+    }
+
+    #[test]
+    fn samples_align_with_jobs() {
+        let jobs = SweepGrid::small().draw_jobs(4, 1, 9);
+        let samples = generate_parallel(&jobs, &smoke_opts(2));
+        for ((config, _), sample) in jobs.iter().zip(&samples) {
+            assert_eq!(sample.config, *config);
+            assert!(sample.cost_node_hours > 0.0);
+        }
+    }
+
+    #[test]
+    fn repeats_differ_only_by_noise() {
+        let grid = SweepGrid::small();
+        let config = grid.all_configs()[0];
+        let jobs = vec![(config, 0u32), (config, 1u32)];
+        let samples = generate_parallel(&jobs, &smoke_opts(2));
+        assert_ne!(samples[0].cost_node_hours, samples[1].cost_node_hours);
+        // Noise is small: within a factor of 2.
+        let ratio = samples[0].cost_node_hours / samples[1].cost_node_hours;
+        assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Dataset pipeline: the paper's 1920-combination parameter sweep, the
+//! 600-sample dataset drawn from it (525 unique configurations + 75
+//! repeats), response transforms (log10), feature scaling to the unit
+//! cube, Init/Active/Test partitioning and CSV persistence.
+//!
+//! The offline AL simulator (crate `al-core`) consults a [`Dataset`] as its
+//! "database of precomputed performance samples", exactly as the paper's
+//! analysis framework does.
+
+pub mod dataset;
+pub mod generate;
+pub mod grid;
+pub mod io;
+pub mod partition;
+pub mod sample;
+pub mod summary;
+pub mod transform;
+
+pub use dataset::{Dataset, FeatureMap};
+pub use generate::{generate_parallel, GenerateOptions};
+pub use grid::SweepGrid;
+pub use partition::Partition;
+pub use sample::Sample;
+pub use summary::TableSummary;
+pub use transform::FeatureScaler;

@@ -1,0 +1,57 @@
+//! One row of the dataset: a configuration plus its measured responses.
+
+use al_amr_sim::{SimulationConfig, SimulationOutcome};
+
+/// A completed measurement: the paper's `(x, c, m)` triple plus wall-clock
+/// time (Table I lists all three responses).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Input configuration (the 5 features).
+    pub config: SimulationConfig,
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Cost in node-hours — the `c` response.
+    pub cost_node_hours: f64,
+    /// MaxRSS per process in MB — the `m` response.
+    pub memory_mb: f64,
+}
+
+impl Sample {
+    /// Raw (unscaled) feature vector `[p, mx, maxlevel, r0, rhoin]`.
+    pub fn features(&self) -> [f64; 5] {
+        self.config.features()
+    }
+}
+
+impl From<SimulationOutcome> for Sample {
+    fn from(o: SimulationOutcome) -> Self {
+        Sample {
+            config: o.config,
+            wall_seconds: o.wall_seconds,
+            cost_node_hours: o.cost_node_hours,
+            memory_mb: o.memory_mb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_delegate_to_config() {
+        let s = Sample {
+            config: SimulationConfig {
+                p: 16,
+                mx: 24,
+                maxlevel: 4,
+                r0: 0.35,
+                rhoin: 0.2,
+            },
+            wall_seconds: 10.0,
+            cost_node_hours: 0.04,
+            memory_mb: 1.5,
+        };
+        assert_eq!(s.features(), [16.0, 24.0, 4.0, 0.35, 0.2]);
+    }
+}

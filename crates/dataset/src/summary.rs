@@ -1,0 +1,148 @@
+//! Descriptive dataset summary — regenerates the paper's Table I
+//! ("Parameters of the AMR shock-bubble simulation dataset").
+
+use crate::dataset::Dataset;
+use al_linalg::stats::Summary;
+
+/// Per-column five-number summaries of features and responses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSummary {
+    /// `(column name, summary)` in the paper's row order.
+    pub rows: Vec<(String, Summary)>,
+}
+
+impl TableSummary {
+    /// Compute the summary of a dataset.
+    pub fn of(dataset: &Dataset) -> Self {
+        let col = |f: &dyn Fn(&crate::sample::Sample) -> f64| -> Vec<f64> {
+            dataset.samples().iter().map(f).collect()
+        };
+        let rows = vec![
+            (
+                "Feature: p, # of nodes".to_string(),
+                Summary::of(&col(&|s| s.config.p as f64)),
+            ),
+            (
+                "Feature: mx, box size".to_string(),
+                Summary::of(&col(&|s| s.config.mx as f64)),
+            ),
+            (
+                "Feature: maxlevel, max refinement level".to_string(),
+                Summary::of(&col(&|s| s.config.maxlevel as f64)),
+            ),
+            (
+                "Feature: r0, bubble size".to_string(),
+                Summary::of(&col(&|s| s.config.r0)),
+            ),
+            (
+                "Feature: rhoin, bubble density".to_string(),
+                Summary::of(&col(&|s| s.config.rhoin)),
+            ),
+            (
+                "Response: wall clock time, seconds".to_string(),
+                Summary::of(&col(&|s| s.wall_seconds)),
+            ),
+            (
+                "Response: cost, node-hours".to_string(),
+                Summary::of(&col(&|s| s.cost_node_hours)),
+            ),
+            (
+                "Response: memory, MB".to_string(),
+                Summary::of(&col(&|s| s.memory_mb)),
+            ),
+        ];
+        TableSummary { rows }
+    }
+
+    /// Format as an aligned text table with the paper's columns
+    /// (min / median / mean / max).
+    pub fn format(&self) -> String {
+        let mut out = String::new();
+        let name_width = self
+            .rows
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(10);
+        out.push_str(&format!(
+            "{:<name_width$}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+            "", "min", "median", "mean", "max"
+        ));
+        for (name, s) in &self.rows {
+            out.push_str(&format!(
+                "{name:<name_width$}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.3}\n",
+                s.min, s.median, s.mean, s.max
+            ));
+        }
+        out
+    }
+
+    /// The ratio of the most to the least expensive job (the paper reports
+    /// `5.4 × 10³` for its dataset).
+    pub fn cost_dynamic_range(&self) -> f64 {
+        self.rows
+            .iter()
+            .find(|(n, _)| n.contains("cost"))
+            .map(|(_, s)| s.max / s.min)
+            .unwrap_or(f64::NAN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::sample::Sample;
+    use al_amr_sim::SimulationConfig;
+
+    fn small_dataset() -> Dataset {
+        let samples: Vec<Sample> = (0..8)
+            .map(|i| Sample {
+                config: SimulationConfig {
+                    p: 4 << (i % 3),
+                    mx: 8 * (1 + i % 4),
+                    maxlevel: 3 + (i % 4) as u8,
+                    r0: 0.2 + 0.04 * i as f64,
+                    rhoin: 0.05 * (i + 1) as f64,
+                },
+                wall_seconds: 2.0 * (i + 1) as f64,
+                cost_node_hours: 0.01 * (i + 1) as f64 * (i + 1) as f64,
+                memory_mb: 0.5 * (i + 1) as f64,
+            })
+            .collect();
+        Dataset::new(samples)
+    }
+
+    #[test]
+    fn summary_has_paper_row_order() {
+        let t = TableSummary::of(&small_dataset());
+        assert_eq!(t.rows.len(), 8);
+        assert!(t.rows[0].0.contains("p,"));
+        assert!(t.rows[4].0.contains("rhoin"));
+        assert!(t.rows[6].0.contains("cost"));
+    }
+
+    #[test]
+    fn summary_values_match_columns() {
+        let d = small_dataset();
+        let t = TableSummary::of(&d);
+        let cost = &t.rows[6].1;
+        assert!((cost.min - 0.01).abs() < 1e-12);
+        assert!((cost.max - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn format_contains_headers_and_rows() {
+        let s = TableSummary::of(&small_dataset()).format();
+        assert!(s.contains("median"));
+        assert!(s.contains("Feature: p"));
+        assert!(s.contains("Response: memory"));
+        assert_eq!(s.lines().count(), 9);
+    }
+
+    #[test]
+    fn dynamic_range_is_max_over_min_cost() {
+        let t = TableSummary::of(&small_dataset());
+        assert!((t.cost_dynamic_range() - 64.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,146 @@
+//! Response and feature transforms (paper Section IV-A): `log10` on the
+//! cost/memory responses and min–max scaling of all features to the unit
+//! cube `[0, 1]^5`.
+
+/// `log10` of a positive response.
+pub fn log10_response(v: f64) -> f64 {
+    assert!(v > 0.0, "responses must be positive before log transform");
+    v.log10()
+}
+
+/// Inverse of [`log10_response`]: exponentiation back to natural units.
+/// Always positive — the paper notes this eliminates nonsensical negative
+/// predictions for near-zero runtimes.
+pub fn unlog10_response(v: f64) -> f64 {
+    10f64.powf(v)
+}
+
+/// Min–max scaler for feature vectors, fitted on a dataset and applied to
+/// every query point so GP length scales are comparable across dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use al_dataset::FeatureScaler;
+///
+/// let rows = [[4.0, 8.0, 3.0, 0.2, 0.02], [32.0, 32.0, 6.0, 0.5, 0.5]];
+/// let scaler = FeatureScaler::fit(&rows);
+/// assert_eq!(scaler.transform(&rows[0]), [0.0; 5]);
+/// assert_eq!(scaler.transform(&rows[1]), [1.0; 5]);
+/// let mid = scaler.transform(&[18.0, 20.0, 4.5, 0.35, 0.26]);
+/// assert!(mid.iter().all(|v| (0.0..=1.0).contains(v)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureScaler {
+    mins: Vec<f64>,
+    spans: Vec<f64>,
+}
+
+impl FeatureScaler {
+    /// Fit the scaler on rows of raw feature vectors.
+    ///
+    /// Panics on empty input. A constant feature (zero span) maps to 0.5.
+    pub fn fit(rows: &[[f64; 5]]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler on no data");
+        let d = rows[0].len();
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for row in rows {
+            for k in 0..d {
+                mins[k] = mins[k].min(row[k]);
+                maxs[k] = maxs[k].max(row[k]);
+            }
+        }
+        let spans = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(lo, hi)| hi - lo)
+            .collect();
+        FeatureScaler { mins, spans }
+    }
+
+    /// Scale one raw feature vector into the unit cube.
+    pub fn transform(&self, row: &[f64; 5]) -> [f64; 5] {
+        let mut out = [0.0; 5];
+        for k in 0..5 {
+            out[k] = if self.spans[k] > 0.0 {
+                (row[k] - self.mins[k]) / self.spans[k]
+            } else {
+                0.5
+            };
+        }
+        out
+    }
+
+    /// Invert the scaling (unit cube → raw features).
+    pub fn inverse(&self, row: &[f64; 5]) -> [f64; 5] {
+        let mut out = [0.0; 5];
+        for k in 0..5 {
+            out[k] = if self.spans[k] > 0.0 {
+                row[k] * self.spans[k] + self.mins[k]
+            } else {
+                self.mins[k]
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_roundtrip() {
+        for v in [1e-3, 0.25, 1.0, 11.85, 4262.7] {
+            assert!((unlog10_response(log10_response(v)) - v).abs() < 1e-9 * v);
+        }
+        assert_eq!(log10_response(100.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn log_rejects_non_positive() {
+        log10_response(0.0);
+    }
+
+    #[test]
+    fn scaler_maps_extremes_to_unit_interval() {
+        let rows = [
+            [4.0, 8.0, 3.0, 0.2, 0.02],
+            [32.0, 32.0, 6.0, 0.5, 0.5],
+            [8.0, 16.0, 5.0, 0.3, 0.1],
+        ];
+        let s = FeatureScaler::fit(&rows);
+        assert_eq!(s.transform(&rows[0]), [0.0; 5]);
+        assert_eq!(s.transform(&rows[1]), [1.0; 5]);
+        let mid = s.transform(&rows[2]);
+        assert!(mid.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn scaler_inverse_roundtrips() {
+        let rows = [[4.0, 8.0, 3.0, 0.2, 0.02], [32.0, 32.0, 6.0, 0.5, 0.5]];
+        let s = FeatureScaler::fit(&rows);
+        let raw = [16.0, 24.0, 4.0, 0.35, 0.2];
+        let back = s.inverse(&s.transform(&raw));
+        for k in 0..5 {
+            assert!((back[k] - raw[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_feature_maps_to_half() {
+        let rows = [[4.0, 8.0, 3.0, 0.2, 0.1], [8.0, 8.0, 4.0, 0.3, 0.1]];
+        let s = FeatureScaler::fit(&rows);
+        let t = s.transform(&[6.0, 8.0, 3.5, 0.25, 0.1]);
+        assert_eq!(t[1], 0.5, "constant mx feature");
+        assert_eq!(t[4], 0.5, "constant rhoin feature");
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn fit_rejects_empty() {
+        FeatureScaler::fit(&[]);
+    }
+}

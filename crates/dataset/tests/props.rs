@@ -1,0 +1,126 @@
+//! Property-based tests for the dataset pipeline.
+
+use al_amr_sim::SimulationConfig;
+use al_dataset::io;
+use al_dataset::{Dataset, FeatureScaler, Partition, Sample, SweepGrid};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_strategy() -> impl Strategy<Value = Sample> {
+    (
+        (1u32..64, 4usize..64, 1u8..8),
+        (0.05f64..1.0, 0.01f64..1.0),
+        (0.001f64..1e4, 0.001f64..1e4, 0.001f64..100.0),
+    )
+        .prop_map(|((p, mx, maxlevel), (r0, rhoin), (wall, cost, mem))| Sample {
+            config: SimulationConfig {
+                p,
+                mx,
+                maxlevel,
+                r0,
+                rhoin,
+            },
+            wall_seconds: wall,
+            cost_node_hours: cost,
+            memory_mb: mem,
+        })
+}
+
+proptest! {
+    #[test]
+    fn scaler_roundtrips_arbitrary_rows(
+        rows in proptest::collection::vec(
+            prop::array::uniform5(-100.0f64..100.0), 2..20)
+    ) {
+        let scaler = FeatureScaler::fit(&rows);
+        for row in &rows {
+            let t = scaler.transform(row);
+            for v in t {
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v));
+            }
+            let back = scaler.inverse(&t);
+            for k in 0..5 {
+                prop_assert!((back[k] - row[k]).abs() < 1e-6 * (1.0 + row[k].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_are_disjoint_for_any_valid_sizes(
+        n in 10usize..200,
+        init_frac in 0.01f64..0.5,
+        test_frac in 0.01f64..0.4,
+        seed in 0u64..1000,
+    ) {
+        let n_init = ((n as f64 * init_frac) as usize).max(1);
+        let n_test = (n as f64 * test_frac) as usize;
+        prop_assume!(n_init + n_test < n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Partition::random(n, n_init, n_test, &mut rng);
+        prop_assert_eq!(p.len(), n);
+        let mut all: Vec<usize> = p.init.iter().chain(&p.active).chain(&p.test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), n);
+    }
+
+    #[test]
+    fn csv_roundtrip_is_lossless_for_arbitrary_samples(
+        samples in proptest::collection::vec(sample_strategy(), 1..20),
+        tag in 0u32..1_000_000,
+    ) {
+        let mut path = std::env::temp_dir();
+        path.push(format!("al_props_{}_{}.csv", std::process::id(), tag));
+        io::write_csv(&samples, &path).unwrap();
+        let back = io::read_csv(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(samples, back);
+    }
+
+    #[test]
+    fn dataset_views_are_consistent(samples in proptest::collection::vec(sample_strategy(), 2..20)) {
+        let d = Dataset::new(samples.clone());
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let raw = d.raw_cost(&idx);
+        let logv = d.log_cost(&idx);
+        for (r, l) in raw.iter().zip(&logv) {
+            prop_assert!((10f64.powf(*l) - r).abs() < 1e-9 * r);
+        }
+        // Scaled features in the unit cube.
+        let x = d.features_scaled(&idx);
+        for i in 0..x.rows() {
+            for v in x.row(i) {
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn draw_jobs_always_returns_requested_counts(
+        n_unique in 1usize..30,
+        n_repeats in 0usize..10,
+        seed in 0u64..100,
+    ) {
+        let grid = SweepGrid::small();
+        prop_assume!(n_unique <= grid.n_combinations());
+        let jobs = grid.draw_jobs(n_unique, n_repeats, seed);
+        prop_assert_eq!(jobs.len(), n_unique + n_repeats);
+        // Unique prefix has distinct configs.
+        for a in 0..n_unique {
+            for b in (a + 1)..n_unique {
+                prop_assert_ne!(jobs[a].0, jobs[b].0);
+            }
+        }
+    }
+
+    #[test]
+    fn selection_weights_are_positive_and_bounded(seed in 0u64..50) {
+        let grid = SweepGrid::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for c in al_dataset::grid::random_configs(&grid, 20, &mut rng) {
+            let w = grid.selection_weight(&c);
+            prop_assert!(w > 0.0 && w <= 1.0, "weight {}", w);
+        }
+    }
+}

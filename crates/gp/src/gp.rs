@@ -1,0 +1,750 @@
+//! Gaussian process regression model (paper Section III).
+//!
+//! A [`GpModel`] owns a kernel (amplitude + length scales) plus the
+//! observation-noise variance `σ_n²`, together forming the hyperparameter
+//! triple `(l, σ_f², σ_n²)` of paper Eq. 9. Fitting factors the noisy kernel
+//! matrix `K_y = K + σ_n² I` (Eq. 3); prediction returns the posterior mean
+//! and standard deviation at arbitrary points (Eq. 2); the log marginal
+//! likelihood (Eq. 8) and its analytic gradient drive hyperparameter
+//! optimization.
+
+use crate::error::GpError;
+use crate::kernel::Kernel;
+use crate::optimize::{self, FitOptions};
+use al_linalg::{ops, Cholesky, Matrix};
+
+/// Posterior predictive summary at a batch of query points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Posterior means `μ_*`.
+    pub mean: Vec<f64>,
+    /// Posterior standard deviations `σ_*` (of the latent function, i.e.
+    /// without observation noise — matching scikit-learn's `return_std`).
+    pub std: Vec<f64>,
+}
+
+#[derive(Debug, Clone)]
+struct Fitted {
+    x: Matrix,
+    y_centered: Vec<f64>,
+    y_mean: f64,
+    chol: Cholesky,
+    /// `α = K_y⁻¹ (y − ȳ)`.
+    alpha: Vec<f64>,
+    lml: f64,
+}
+
+/// Gaussian process regressor with a pluggable stationary kernel.
+///
+/// # Examples
+///
+/// ```
+/// use al_gp::{FitOptions, GpModel, KernelKind};
+/// use al_linalg::Matrix;
+///
+/// // Five observations of a smooth 1-D function.
+/// let x = Matrix::from_vec(5, 1, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// let y: Vec<f64> = x.as_slice().iter().map(|v| (3.0 * v).sin()).collect();
+///
+/// let mut gp = GpModel::new(KernelKind::Rbf.build(0.3), 1e-5);
+/// gp.fit_optimized(&x, &y, &FitOptions::default()).unwrap();
+///
+/// let (mean, std) = gp.predict_one(&[0.4]).unwrap();
+/// assert!((mean - (1.2f64).sin()).abs() < 0.05);
+/// assert!(std < 0.2, "interpolation region is confident");
+/// ```
+#[derive(Clone)]
+pub struct GpModel {
+    kernel: Box<dyn Kernel>,
+    /// `log σ_n²`.
+    log_noise: f64,
+    /// When true (default), the training targets are centered before
+    /// fitting and the mean is added back at prediction time.
+    normalize_y: bool,
+    fitted: Option<Fitted>,
+}
+
+impl std::fmt::Debug for GpModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpModel")
+            .field("kernel", &self.kernel.name())
+            .field("params", &self.kernel.params())
+            .field("log_noise", &self.log_noise)
+            .field("fitted", &self.fitted.is_some())
+            .finish()
+    }
+}
+
+impl GpModel {
+    /// Create an unfitted model from a kernel and a natural-space noise
+    /// variance `σ_n²`.
+    pub fn new(kernel: Box<dyn Kernel>, noise_variance: f64) -> Self {
+        assert!(noise_variance > 0.0);
+        GpModel {
+            kernel,
+            log_noise: noise_variance.ln(),
+            normalize_y: true,
+            fitted: None,
+        }
+    }
+
+    /// Disable target centering (fit the raw responses).
+    pub fn without_normalization(mut self) -> Self {
+        self.normalize_y = false;
+        self
+    }
+
+    /// Natural-space noise variance `σ_n²`.
+    pub fn noise_variance(&self) -> f64 {
+        self.log_noise.exp()
+    }
+
+    /// Kernel in use.
+    pub fn kernel(&self) -> &dyn Kernel {
+        self.kernel.as_ref()
+    }
+
+    /// Full hyperparameter vector in log space:
+    /// `[kernel params..., log σ_n²]`.
+    pub fn hyperparams(&self) -> Vec<f64> {
+        let mut p = self.kernel.params();
+        p.push(self.log_noise);
+        p
+    }
+
+    /// Replace the full hyperparameter vector (log space). Invalidates any
+    /// previous fit; call [`GpModel::fit`] again afterwards.
+    pub fn set_hyperparams(&mut self, p: &[f64]) -> Result<(), GpError> {
+        let nk = self.kernel.n_params();
+        if p.len() != nk + 1 {
+            return Err(GpError::BadParamLength {
+                expected: nk + 1,
+                got: p.len(),
+            });
+        }
+        self.kernel.set_params(&p[..nk])?;
+        self.log_noise = p[nk];
+        self.fitted = None;
+        Ok(())
+    }
+
+    /// Number of log-space hyperparameters (kernel params + noise).
+    pub fn n_hyperparams(&self) -> usize {
+        self.kernel.n_params() + 1
+    }
+
+    /// Number of training points in the current fit (0 when unfitted).
+    pub fn n_train(&self) -> usize {
+        self.fitted.as_ref().map_or(0, |f| f.x.rows())
+    }
+
+    /// Fit the model to `(x, y)` with the *current* hyperparameters.
+    ///
+    /// This is the inner operation of the AL loop's retraining step; use
+    /// [`GpModel::fit_optimized`] to also maximize the marginal likelihood.
+    pub fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), GpError> {
+        if x.rows() != y.len() {
+            return Err(GpError::InvalidTrainingData {
+                n_x: x.rows(),
+                n_y: y.len(),
+            });
+        }
+        if x.rows() == 0 {
+            return Err(GpError::Linalg(al_linalg::LinalgError::Empty(
+                "training set",
+            )));
+        }
+        let y_mean = if self.normalize_y {
+            al_linalg::stats::mean(y)
+        } else {
+            0.0
+        };
+        let y_centered: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+
+        let ky = self.noisy_kernel_matrix(x);
+        let chol = Cholesky::with_jitter(&ky, 1e-10, 1e-2)?;
+        let alpha = chol.solve(&y_centered)?;
+
+        let n = x.rows() as f64;
+        let lml = -0.5 * (ops::dot(&y_centered, &alpha) + chol.log_det())
+            - 0.5 * n * (2.0 * std::f64::consts::PI).ln();
+
+        self.fitted = Some(Fitted {
+            x: x.clone(),
+            y_centered,
+            y_mean,
+            chol,
+            alpha,
+            lml,
+        });
+        Ok(())
+    }
+
+    /// Incrementally absorb one new observation into the current fit in
+    /// `O(n²)` (bordered-Cholesky update) instead of refitting from
+    /// scratch (`O(n³)`) — the natural operation for an AL loop acquiring
+    /// one sample per iteration.
+    ///
+    /// The centering offset `ȳ` is kept frozen from the last full
+    /// [`GpModel::fit`]; call `fit`/[`GpModel::fit_optimized`]
+    /// periodically to refresh it (the AL procedure does this on its
+    /// hyperparameter-optimization cadence). Falls back to a full refit
+    /// internally when the bordered matrix is numerically not SPD.
+    pub fn augment(&mut self, x_new: &[f64], y_new: f64) -> Result<(), GpError> {
+        let fitted = self.fitted.as_mut().ok_or(GpError::NotFitted)?;
+        if x_new.len() != fitted.x.cols() {
+            return Err(GpError::Linalg(al_linalg::LinalgError::ShapeMismatch {
+                op: "augment",
+                lhs: fitted.x.shape(),
+                rhs: (1, x_new.len()),
+            }));
+        }
+        let n = fitted.x.rows();
+        let mut k_vec = vec![0.0; n];
+        for i in 0..n {
+            k_vec[i] = self.kernel.value(x_new, fitted.x.row(i));
+        }
+        let diag = self.kernel.diag_value() + self.log_noise.exp();
+
+        // Rebuild the training set regardless of which path we take.
+        let x_row = Matrix::from_vec(1, x_new.len(), x_new.to_vec());
+        let x_next = fitted.x.vstack(&x_row)?;
+        let mut y_centered = fitted.y_centered.clone();
+        y_centered.push(y_new - fitted.y_mean);
+
+        let mut chol = fitted.chol.clone();
+        if chol.extend(&k_vec, diag).is_err() {
+            // Numerically degenerate border (e.g. duplicate point): fall
+            // back to a full jittered refit of the whole set. `fit` also
+            // refreshes the centering mean, which is fine — both centerings
+            // describe the same posterior.
+            let y_raw: Vec<f64> = y_centered.iter().map(|v| v + fitted.y_mean).collect();
+            return self.fit(&x_next, &y_raw);
+        }
+        let alpha = chol.solve(&y_centered)?;
+        let n_new = (n + 1) as f64;
+        let lml = -0.5 * (ops::dot(&y_centered, &alpha) + chol.log_det())
+            - 0.5 * n_new * (2.0 * std::f64::consts::PI).ln();
+
+        *fitted = Fitted {
+            x: x_next,
+            y_centered,
+            y_mean: fitted.y_mean,
+            chol,
+            alpha,
+            lml,
+        };
+        Ok(())
+    }
+
+    /// Fit with hyperparameter optimization: maximize the LML (Eq. 9) by
+    /// multi-start Adam in log space, warm-starting from the current
+    /// hyperparameters, then refit at the optimum.
+    pub fn fit_optimized(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        opts: &FitOptions,
+    ) -> Result<(), GpError> {
+        if x.rows() != y.len() {
+            return Err(GpError::InvalidTrainingData {
+                n_x: x.rows(),
+                n_y: y.len(),
+            });
+        }
+        // With a single observation the LML surface is degenerate; just fit.
+        if x.rows() < 2 {
+            return self.fit(x, y);
+        }
+        let best = optimize::maximize_lml(self, x, y, opts);
+        if let Some(params) = best {
+            self.set_hyperparams(&params)?;
+        }
+        self.fit(x, y)
+    }
+
+    /// The log marginal likelihood of the current fit (Eq. 8, including the
+    /// `−n/2 log 2π` constant).
+    pub fn lml(&self) -> Result<f64, GpError> {
+        Ok(self.fitted.as_ref().ok_or(GpError::NotFitted)?.lml)
+    }
+
+    /// Analytic gradient of the LML with respect to every log-space
+    /// hyperparameter `[kernel params..., log σ_n²]`.
+    ///
+    /// Uses the standard identity
+    /// `∂LML/∂θ = ½ tr((ααᵀ − K_y⁻¹) ∂K_y/∂θ)`.
+    pub fn lml_gradient(&self) -> Result<Vec<f64>, GpError> {
+        let fitted = self.fitted.as_ref().ok_or(GpError::NotFitted)?;
+        let n = fitted.x.rows();
+        let nk = self.kernel.n_params();
+        let k_inv = fitted.chol.inverse()?;
+        let alpha = &fitted.alpha;
+
+        let mut grad = vec![0.0; nk + 1];
+        let mut kgrad = vec![0.0; nk];
+        for i in 0..n {
+            let xi = fitted.x.row(i);
+            // Diagonal term (weight 1).
+            let cii = alpha[i] * alpha[i] - k_inv[(i, i)];
+            self.kernel.gradient(xi, xi, &mut kgrad);
+            for (g, kg) in grad[..nk].iter_mut().zip(&kgrad) {
+                *g += 0.5 * cii * kg;
+            }
+            // Off-diagonal terms (weight 2, symmetry).
+            for j in (i + 1)..n {
+                let cij = alpha[i] * alpha[j] - k_inv[(i, j)];
+                self.kernel.gradient(xi, fitted.x.row(j), &mut kgrad);
+                for (g, kg) in grad[..nk].iter_mut().zip(&kgrad) {
+                    *g += cij * kg;
+                }
+            }
+        }
+        // Noise: ∂K_y/∂log σ_n² = σ_n² I.
+        let sn2 = self.noise_variance();
+        let trace_term: f64 = (0..n)
+            .map(|i| alpha[i] * alpha[i] - k_inv[(i, i)])
+            .sum();
+        grad[nk] = 0.5 * sn2 * trace_term;
+        Ok(grad)
+    }
+
+    /// Posterior mean and standard deviation at each row of `xs` (Eq. 2–3).
+    pub fn predict(&self, xs: &Matrix) -> Result<Prediction, GpError> {
+        let fitted = self.fitted.as_ref().ok_or(GpError::NotFitted)?;
+        if xs.cols() != fitted.x.cols() {
+            return Err(GpError::Linalg(al_linalg::LinalgError::ShapeMismatch {
+                op: "predict",
+                lhs: fitted.x.shape(),
+                rhs: xs.shape(),
+            }));
+        }
+        let n = fitted.x.rows();
+        let m = xs.rows();
+        let mut mean = Vec::with_capacity(m);
+        let mut std = Vec::with_capacity(m);
+        let mut kstar = vec![0.0; n];
+        for q in 0..m {
+            let xq = xs.row(q);
+            for i in 0..n {
+                kstar[i] = self.kernel.value(xq, fitted.x.row(i));
+            }
+            mean.push(fitted.y_mean + ops::dot(&kstar, &fitted.alpha));
+            // σ² = k(x*,x*) − ‖L⁻¹ k*‖², clamped at 0 against rounding.
+            let v = fitted.chol.solve_lower(&kstar)?;
+            let var = (self.kernel.diag_value() - ops::dot(&v, &v)).max(0.0);
+            std.push(var.sqrt());
+        }
+        Ok(Prediction { mean, std })
+    }
+
+    /// Full joint posterior at the rows of `xs`: mean vector and the
+    /// `m × m` posterior covariance of the latent function.
+    ///
+    /// Needed for correlated-uncertainty queries and posterior sampling
+    /// (e.g. Thompson-style selection); [`GpModel::predict`] returns only
+    /// the diagonal.
+    pub fn predict_full(&self, xs: &Matrix) -> Result<(Vec<f64>, Matrix), GpError> {
+        let fitted = self.fitted.as_ref().ok_or(GpError::NotFitted)?;
+        if xs.cols() != fitted.x.cols() {
+            return Err(GpError::Linalg(al_linalg::LinalgError::ShapeMismatch {
+                op: "predict_full",
+                lhs: fitted.x.shape(),
+                rhs: xs.shape(),
+            }));
+        }
+        let n = fitted.x.rows();
+        let m = xs.rows();
+        // V[:, q] = L⁻¹ k*(x_q); posterior cov = K** − VᵀV.
+        let mut v = Matrix::zeros(n, m);
+        let mut mean = Vec::with_capacity(m);
+        let mut kstar = vec![0.0; n];
+        for q in 0..m {
+            let xq = xs.row(q);
+            for i in 0..n {
+                kstar[i] = self.kernel.value(xq, fitted.x.row(i));
+            }
+            mean.push(fitted.y_mean + ops::dot(&kstar, &fitted.alpha));
+            let col = fitted.chol.solve_lower(&kstar)?;
+            for i in 0..n {
+                v[(i, q)] = col[i];
+            }
+        }
+        let mut cov = Matrix::zeros(m, m);
+        for a in 0..m {
+            for b in a..m {
+                let prior = self.kernel.value(xs.row(a), xs.row(b));
+                let reduction: f64 = (0..n).map(|i| v[(i, a)] * v[(i, b)]).sum();
+                let c = prior - reduction;
+                cov[(a, b)] = c;
+                cov[(b, a)] = c;
+            }
+        }
+        Ok((mean, cov))
+    }
+
+    /// Draw one sample of the latent function at the rows of `xs` from the
+    /// joint posterior: `f = μ + L_cov z`, `z ~ N(0, I)`.
+    pub fn sample_posterior<R: rand::Rng + ?Sized>(
+        &self,
+        xs: &Matrix,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, GpError> {
+        let (mean, cov) = self.predict_full(xs)?;
+        let chol = Cholesky::with_jitter(&cov, 1e-10, 1e-2)?;
+        let m = mean.len();
+        let z: Vec<f64> = (0..m)
+            .map(|_| al_linalg::rng::standard_normal(rng))
+            .collect();
+        let lz = chol.l().matvec(&z)?;
+        Ok(mean.iter().zip(&lz).map(|(mu, d)| mu + d).collect())
+    }
+
+    /// Posterior mean/std at a single point.
+    pub fn predict_one(&self, x: &[f64]) -> Result<(f64, f64), GpError> {
+        let m = Matrix::from_vec(1, x.len(), x.to_vec());
+        let p = self.predict(&m)?;
+        Ok((p.mean[0], p.std[0]))
+    }
+
+    /// Evaluate the LML (and optionally keep the fit) at given
+    /// hyperparameters for the provided data — the optimizer's objective.
+    /// Returns `None` when the kernel matrix cannot be factored.
+    pub(crate) fn lml_at(
+        &mut self,
+        params: &[f64],
+        x: &Matrix,
+        y: &[f64],
+    ) -> Option<(f64, Vec<f64>)> {
+        if self.set_hyperparams(params).is_err() {
+            return None;
+        }
+        if self.fit(x, y).is_err() {
+            return None;
+        }
+        let lml = self.lml().ok()?;
+        let grad = self.lml_gradient().ok()?;
+        if !lml.is_finite() || grad.iter().any(|g| !g.is_finite()) {
+            return None;
+        }
+        Some((lml, grad))
+    }
+
+    fn noisy_kernel_matrix(&self, x: &Matrix) -> Matrix {
+        let n = x.rows();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            let xi = x.row(i);
+            k[(i, i)] = self.kernel.diag_value() + self.noise_variance();
+            for j in (i + 1)..n {
+                let v = self.kernel.value(xi, x.row(j));
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::RbfKernel;
+
+    fn toy_model() -> GpModel {
+        GpModel::new(Box::new(RbfKernel::new(1.0, 1.0)), 1e-4)
+    }
+
+    /// 1-D training set y = sin(2x) on [0, 3].
+    fn sine_data(n: usize) -> (Matrix, Vec<f64>) {
+        let xs: Vec<f64> = (0..n).map(|i| 3.0 * i as f64 / (n - 1) as f64).collect();
+        let y: Vec<f64> = xs.iter().map(|x| (2.0 * x).sin()).collect();
+        (Matrix::from_vec(n, 1, xs), y)
+    }
+
+    #[test]
+    fn unfitted_model_refuses_posterior_queries() {
+        let m = toy_model();
+        assert!(matches!(m.lml(), Err(GpError::NotFitted)));
+        assert!(matches!(m.predict_one(&[0.0]), Err(GpError::NotFitted)));
+        assert!(matches!(m.lml_gradient(), Err(GpError::NotFitted)));
+    }
+
+    #[test]
+    fn fit_validates_shapes() {
+        let mut m = toy_model();
+        let x = Matrix::zeros(3, 1);
+        assert!(matches!(
+            m.fit(&x, &[1.0, 2.0]),
+            Err(GpError::InvalidTrainingData { .. })
+        ));
+        assert!(m.fit(&Matrix::zeros(0, 1), &[]).is_err());
+    }
+
+    #[test]
+    fn interpolates_training_points_with_small_noise() {
+        let (x, y) = sine_data(12);
+        let mut m = toy_model();
+        m.fit(&x, &y).unwrap();
+        for i in 0..x.rows() {
+            let (mu, sigma) = m.predict_one(x.row(i)).unwrap();
+            assert!((mu - y[i]).abs() < 1e-2, "point {i}: {mu} vs {}", y[i]);
+            assert!(sigma < 0.05, "σ at training point {i} = {sigma}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let (x, y) = sine_data(8);
+        let mut m = toy_model();
+        m.fit(&x, &y).unwrap();
+        let (_, sigma_in) = m.predict_one(&[1.5]).unwrap();
+        let (_, sigma_out) = m.predict_one(&[10.0]).unwrap();
+        assert!(sigma_out > sigma_in);
+        // Far from all data the posterior reverts to the prior std.
+        assert!((sigma_out - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn prediction_mean_reverts_to_training_mean_far_away() {
+        let (x, mut y) = sine_data(8);
+        for v in &mut y {
+            *v += 5.0;
+        }
+        let mut m = toy_model();
+        m.fit(&x, &y).unwrap();
+        let (mu, _) = m.predict_one(&[100.0]).unwrap();
+        let ybar = al_linalg::stats::mean(&y);
+        assert!((mu - ybar).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lml_gradient_matches_finite_differences() {
+        let (x, y) = sine_data(7);
+        let mut m = toy_model();
+        m.fit(&x, &y).unwrap();
+        let p0 = m.hyperparams();
+        let grad = m.lml_gradient().unwrap();
+        let h = 1e-6;
+        for i in 0..p0.len() {
+            let mut pp = p0.clone();
+            pp[i] += h;
+            m.set_hyperparams(&pp).unwrap();
+            m.fit(&x, &y).unwrap();
+            let up = m.lml().unwrap();
+            pp[i] -= 2.0 * h;
+            m.set_hyperparams(&pp).unwrap();
+            m.fit(&x, &y).unwrap();
+            let dn = m.lml().unwrap();
+            let fd = (up - dn) / (2.0 * h);
+            assert!(
+                (fd - grad[i]).abs() < 1e-4 * (1.0 + fd.abs()),
+                "param {i}: fd={fd} analytic={}",
+                grad[i]
+            );
+            m.set_hyperparams(&p0).unwrap();
+            m.fit(&x, &y).unwrap();
+        }
+    }
+
+    #[test]
+    fn hyperparams_roundtrip() {
+        let mut m = toy_model();
+        assert_eq!(m.n_hyperparams(), 3);
+        let p = vec![0.1, -0.4, (1e-3f64).ln()];
+        m.set_hyperparams(&p).unwrap();
+        assert_eq!(m.hyperparams(), p);
+        assert!((m.noise_variance() - 1e-3).abs() < 1e-12);
+        assert!(m.set_hyperparams(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn set_hyperparams_invalidates_fit() {
+        let (x, y) = sine_data(5);
+        let mut m = toy_model();
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.n_train(), 5);
+        m.set_hyperparams(&[0.0, 0.0, -9.0]).unwrap();
+        assert!(matches!(m.predict_one(&[0.0]), Err(GpError::NotFitted)));
+        assert_eq!(m.n_train(), 0);
+    }
+
+    #[test]
+    fn predict_rejects_dimension_mismatch() {
+        let (x, y) = sine_data(5);
+        let mut m = toy_model();
+        m.fit(&x, &y).unwrap();
+        let bad = Matrix::zeros(1, 2);
+        assert!(m.predict(&bad).is_err());
+    }
+
+    #[test]
+    fn without_normalization_fits_raw_targets() {
+        let (x, mut y) = sine_data(8);
+        for v in &mut y {
+            *v += 100.0;
+        }
+        let mut m = toy_model().without_normalization();
+        m.fit(&x, &y).unwrap();
+        // Far from data the un-normalized GP reverts to zero, not the mean.
+        let (mu, _) = m.predict_one(&[100.0]).unwrap();
+        assert!(mu.abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_training_points_survive_via_jitter() {
+        // Two identical inputs with slightly different noisy observations.
+        let x = Matrix::from_vec(3, 1, vec![0.5, 0.5, 1.0]);
+        let y = vec![1.0, 1.02, 2.0];
+        let mut m = GpModel::new(Box::new(RbfKernel::new(1.0, 1.0)), 1e-6);
+        m.fit(&x, &y).unwrap();
+        let (mu, _) = m.predict_one(&[0.5]).unwrap();
+        assert!((mu - 1.01).abs() < 0.05);
+    }
+
+    #[test]
+    fn more_data_never_hurts_training_fit() {
+        // LML per point improves (or at least the model remains fittable)
+        // as the training set grows on a smooth function.
+        let mut m = toy_model();
+        for n in [4usize, 8, 16] {
+            let (x, y) = sine_data(n);
+            m.fit(&x, &y).unwrap();
+            assert!(m.lml().unwrap().is_finite());
+        }
+    }
+
+    #[test]
+    fn augment_matches_full_refit() {
+        let (x, y) = sine_data(9);
+        // Fit on the first 8 points, augment with the 9th.
+        let x8 = x.select_rows(&(0..8).collect::<Vec<_>>());
+        let mut incremental = toy_model().without_normalization();
+        incremental.fit(&x8, &y[..8]).unwrap();
+        incremental.augment(x.row(8), y[8]).unwrap();
+
+        let mut fresh = toy_model().without_normalization();
+        fresh.fit(&x, &y).unwrap();
+
+        assert_eq!(incremental.n_train(), 9);
+        assert!(
+            (incremental.lml().unwrap() - fresh.lml().unwrap()).abs() < 1e-9,
+            "LML: {} vs {}",
+            incremental.lml().unwrap(),
+            fresh.lml().unwrap()
+        );
+        for q in [0.1, 1.4, 2.9] {
+            let (mi, si) = incremental.predict_one(&[q]).unwrap();
+            let (mf, sf) = fresh.predict_one(&[q]).unwrap();
+            assert!((mi - mf).abs() < 1e-9, "mean at {q}");
+            assert!((si - sf).abs() < 1e-9, "std at {q}");
+        }
+    }
+
+    #[test]
+    fn augment_chain_stays_consistent() {
+        let (x, y) = sine_data(12);
+        let x4 = x.select_rows(&(0..4).collect::<Vec<_>>());
+        let mut m = toy_model().without_normalization();
+        m.fit(&x4, &y[..4]).unwrap();
+        for i in 4..12 {
+            m.augment(x.row(i), y[i]).unwrap();
+        }
+        let mut fresh = toy_model().without_normalization();
+        fresh.fit(&x, &y).unwrap();
+        let (mi, si) = m.predict_one(&[1.7]).unwrap();
+        let (mf, sf) = fresh.predict_one(&[1.7]).unwrap();
+        assert!((mi - mf).abs() < 1e-8);
+        assert!((si - sf).abs() < 1e-8);
+    }
+
+    #[test]
+    fn augment_duplicate_point_falls_back_gracefully() {
+        // Augmenting with an exact duplicate makes the bordered matrix
+        // nearly singular; the fallback refit must keep the model usable.
+        let (x, y) = sine_data(6);
+        let mut m = GpModel::new(Box::new(RbfKernel::new(1.0, 1.0)), 1e-9);
+        m.fit(&x, &y).unwrap();
+        m.augment(x.row(2), y[2] + 1e-6).unwrap();
+        assert_eq!(m.n_train(), 7);
+        let (mu, _) = m.predict_one(x.row(2)).unwrap();
+        assert!((mu - y[2]).abs() < 1e-2);
+    }
+
+    #[test]
+    fn augment_requires_fit_and_matching_dims() {
+        let mut m = toy_model();
+        assert!(matches!(m.augment(&[0.0], 1.0), Err(GpError::NotFitted)));
+        let (x, y) = sine_data(5);
+        m.fit(&x, &y).unwrap();
+        assert!(m.augment(&[0.0, 1.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn predict_full_diagonal_matches_predict() {
+        let (x, y) = sine_data(10);
+        let mut m = toy_model();
+        m.fit(&x, &y).unwrap();
+        let xq = Matrix::from_vec(3, 1, vec![0.3, 1.1, 2.7]);
+        let p = m.predict(&xq).unwrap();
+        let (mean, cov) = m.predict_full(&xq).unwrap();
+        for i in 0..3 {
+            assert!((mean[i] - p.mean[i]).abs() < 1e-12);
+            assert!((cov[(i, i)].max(0.0).sqrt() - p.std[i]).abs() < 1e-9);
+        }
+        // Covariance is symmetric with nonnegative-ish diagonal.
+        assert!(cov.is_symmetric(1e-12));
+        // Nearby points are strongly correlated.
+        let xq = Matrix::from_vec(2, 1, vec![5.0, 5.01]);
+        let (_, cov) = m.predict_full(&xq).unwrap();
+        let corr = cov[(0, 1)] / (cov[(0, 0)] * cov[(1, 1)]).sqrt();
+        assert!(corr > 0.99, "correlation {corr}");
+    }
+
+    #[test]
+    fn posterior_samples_track_mean_and_spread() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let (x, y) = sine_data(10);
+        let mut m = toy_model();
+        m.fit(&x, &y).unwrap();
+        let xq = Matrix::from_vec(2, 1, vec![1.0, 10.0]); // in-data, far away
+        let p = m.predict(&xq).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let draws: Vec<Vec<f64>> = (0..300)
+            .map(|_| m.sample_posterior(&xq, &mut rng).unwrap())
+            .collect();
+        for q in 0..2 {
+            let vals: Vec<f64> = draws.iter().map(|d| d[q]).collect();
+            let mean = al_linalg::stats::mean(&vals);
+            let std = al_linalg::stats::std_dev(&vals);
+            assert!((mean - p.mean[q]).abs() < 0.2, "q{q}: {mean} vs {}", p.mean[q]);
+            assert!(
+                (std - p.std[q]).abs() < 0.15 * (1.0 + p.std[q]),
+                "q{q}: sample std {std} vs posterior {}",
+                p.std[q]
+            );
+        }
+        // The in-data point has far less spread than the far point.
+        let near: Vec<f64> = draws.iter().map(|d| d[0]).collect();
+        let far: Vec<f64> = draws.iter().map(|d| d[1]).collect();
+        assert!(al_linalg::stats::std_dev(&near) < al_linalg::stats::std_dev(&far));
+    }
+
+    #[test]
+    fn predict_full_rejects_unfitted_and_mismatched() {
+        let m = toy_model();
+        assert!(m.predict_full(&Matrix::zeros(1, 1)).is_err());
+        let (x, y) = sine_data(5);
+        let mut m = toy_model();
+        m.fit(&x, &y).unwrap();
+        assert!(m.predict_full(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn debug_format_mentions_kernel() {
+        let m = toy_model();
+        let s = format!("{m:?}");
+        assert!(s.contains("RBF"));
+    }
+}

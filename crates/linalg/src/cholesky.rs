@@ -1,0 +1,439 @@
+//! Cholesky factorization of symmetric positive definite matrices.
+//!
+//! GPR spends essentially all of its time here: fitting factors the noisy
+//! kernel matrix `K_y = K + σ_n² I`, prediction and the log marginal
+//! likelihood (paper Eqs. 3 and 8) are triangular solves plus a
+//! log-determinant read off the factor's diagonal.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// # Examples
+///
+/// ```
+/// use al_linalg::{Cholesky, Matrix};
+///
+/// let a = Matrix::from_vec(2, 2, vec![4.0, 1.0, 1.0, 3.0]);
+/// let chol = Cholesky::new(&a).unwrap();
+/// let x = chol.solve(&[1.0, 2.0]).unwrap();
+/// // A·x reproduces the right-hand side.
+/// let b = a.matvec(&x).unwrap();
+/// assert!((b[0] - 1.0).abs() < 1e-12 && (b[1] - 2.0).abs() < 1e-12);
+/// assert!((chol.log_det() - 11f64.ln()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    /// Jitter that had to be added to the diagonal for the factorization to
+    /// succeed (0.0 when the matrix was well conditioned as given).
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive definite matrix.
+    ///
+    /// Fails with [`LinalgError::NotPositiveDefinite`] when a pivot is not
+    /// strictly positive. Use [`Cholesky::with_jitter`] for kernel matrices
+    /// that may be numerically semi-definite.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        Self::factor(a, 0.0)
+    }
+
+    /// Factor `A + jitter·I`, escalating `jitter` by factors of 10 from
+    /// `initial_jitter` up to `max_jitter` until the factorization succeeds.
+    ///
+    /// This mirrors what GP libraries do when the RBF kernel makes nearby
+    /// points numerically identical. The jitter actually used is recorded in
+    /// [`Cholesky::jitter`].
+    pub fn with_jitter(a: &Matrix, initial_jitter: f64, max_jitter: f64) -> Result<Self, LinalgError> {
+        match Self::factor(a, 0.0) {
+            Ok(c) => return Ok(c),
+            Err(_) => {}
+        }
+        let mut jitter = initial_jitter.max(f64::MIN_POSITIVE);
+        let mut last_err = LinalgError::NotPositiveDefinite { pivot: 0, value: 0.0 };
+        while jitter <= max_jitter {
+            match Self::factor(a, jitter) {
+                Ok(c) => return Ok(c),
+                Err(e) => last_err = e,
+            }
+            jitter *= 10.0;
+        }
+        Err(last_err)
+    }
+
+    fn factor(a: &Matrix, jitter: f64) -> Result<Self, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal pivot.
+            let mut d = a[(j, j)] + jitter;
+            for k in 0..j {
+                let ljk = l[(j, k)];
+                d -= ljk * ljk;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j, value: d });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            // Column below the pivot.
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                // Rows i and j of L are contiguous; this inner product is
+                // the hot loop of the whole factorization.
+                let (ri, rj) = (i * n, j * n);
+                let li = &l.as_slice()[ri..ri + j];
+                let lj = &l.as_slice()[rj..rj + j];
+                s -= crate::ops::dot(li, lj);
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l, jitter })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Jitter added to the diagonal during factorization.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solve `L z = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_lower",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut z = b.to_vec();
+        for i in 0..n {
+            let row = self.l.row(i);
+            let s = crate::ops::dot(&row[..i], &z[..i]);
+            z[i] = (z[i] - s) / row[i];
+        }
+        Ok(z)
+    }
+
+    /// Solve `Lᵀ x = b` (backward substitution).
+    pub fn solve_upper(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_upper",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut x = b.to_vec();
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solve the full system `A x = b` via the factor (`L Lᵀ x = b`).
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let z = self.solve_lower(b)?;
+        self.solve_upper(&z)
+    }
+
+    /// Solve `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        if b.rows() != self.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_matrix",
+                lhs: (self.dim(), self.dim()),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            for i in 0..b.rows() {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// `log |A| = 2 Σ log L_ii` — the model-complexity term of the paper's
+    /// Eq. 8.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Quadratic form `bᵀ A⁻¹ b` computed stably as `‖L⁻¹ b‖²`.
+    pub fn quad_form(&self, b: &[f64]) -> Result<f64, LinalgError> {
+        let z = self.solve_lower(b)?;
+        Ok(crate::ops::dot(&z, &z))
+    }
+
+    /// Explicit inverse `A⁻¹` (used by the LML gradient, which needs the
+    /// full matrix `K⁻¹` once per gradient evaluation).
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Reconstruct `L Lᵀ` (test helper; includes the jitter on the diagonal).
+    pub fn reconstruct(&self) -> Matrix {
+        let lt = self.l.transpose();
+        self.l.matmul(&lt).expect("square factor")
+    }
+
+    /// Extend the factorization of `A` to that of the bordered matrix
+    /// `[[A, b], [bᵀ, c]]` in `O(n²)` — the incremental update that lets
+    /// active learning grow its kernel matrix one acquired sample at a
+    /// time instead of refactoring from scratch (`O(n³)`).
+    ///
+    /// Fails with [`LinalgError::NotPositiveDefinite`] when the bordered
+    /// matrix is not SPD (callers should fall back to a fresh
+    /// [`Cholesky::with_jitter`] factorization).
+    pub fn extend(&mut self, b: &[f64], c: f64) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "extend",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // New bottom row: L w = b, pivot d = sqrt(c − ‖w‖²).
+        let w = self.solve_lower(b)?;
+        let d2 = c - crate::ops::dot(&w, &w);
+        if d2 <= 0.0 || !d2.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: n, value: d2 });
+        }
+        let mut l = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            let (src, dst) = (self.l.row(i), l.row_mut(i));
+            dst[..n].copy_from_slice(src);
+        }
+        let last = l.row_mut(n);
+        last[..n].copy_from_slice(&w);
+        last[n] = d2.sqrt();
+        self.l = l;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B Bᵀ + I for a fixed B is SPD by construction.
+        Matrix::from_vec(
+            3,
+            3,
+            vec![5.0, 2.0, 1.0, 2.0, 6.0, 2.0, 1.0, 2.0, 4.0],
+        )
+    }
+
+    #[test]
+    fn factor_reconstructs_input() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let r = ch.reconstruct();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-12, "entry ({i},{j})");
+            }
+        }
+        assert_eq!(ch.jitter(), 0.0);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let ch = Cholesky::new(&a).unwrap();
+        let x = ch.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_and_inverse() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let inv = ch.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let eye = Matrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((prod[(i, j)] - eye[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn log_det_matches_2x2_formula() {
+        let a = Matrix::from_vec(2, 2, vec![4.0, 1.0, 1.0, 3.0]);
+        let ch = Cholesky::new(&a).unwrap();
+        let det = 4.0 * 3.0 - 1.0;
+        assert!((ch.log_det() - (det as f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quad_form_matches_direct() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = ch.solve(&b).unwrap();
+        let direct = crate::ops::dot(&b, &x);
+        assert!((ch.quad_form(&b).unwrap() - direct).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Cholesky::new(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite_matrix() {
+        // Rank-1: ones * onesᵀ, singular, needs jitter.
+        let a = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        let ch = Cholesky::with_jitter(&a, 1e-10, 1e-2).unwrap();
+        assert!(ch.jitter() > 0.0);
+        // Reconstruction equals A + jitter·I.
+        let r = ch.reconstruct();
+        assert!((r[(0, 0)] - (1.0 + ch.jitter())).abs() < 1e-9);
+        assert!((r[(0, 1)] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_gives_up_past_max() {
+        let a = Matrix::from_vec(2, 2, vec![-1.0, 0.0, 0.0, -1.0]);
+        assert!(Cholesky::with_jitter(&a, 1e-10, 1e-6).is_err());
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let ch = Cholesky::new(&spd3()).unwrap();
+        assert!(ch.solve(&[1.0]).is_err());
+        assert!(ch.solve_lower(&[1.0]).is_err());
+        assert!(ch.solve_upper(&[1.0]).is_err());
+        assert!(ch.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn extend_matches_fresh_factorization() {
+        let a = spd3();
+        // Bordered matrix: append column b and diagonal c keeping SPD.
+        let b = vec![0.5, -0.3, 0.8];
+        let c = 7.0;
+        let mut bordered = Matrix::zeros(4, 4);
+        for i in 0..3 {
+            for j in 0..3 {
+                bordered[(i, j)] = a[(i, j)];
+            }
+            bordered[(i, 3)] = b[i];
+            bordered[(3, i)] = b[i];
+        }
+        bordered[(3, 3)] = c;
+
+        let mut incremental = Cholesky::new(&a).unwrap();
+        incremental.extend(&b, c).unwrap();
+        let fresh = Cholesky::new(&bordered).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (incremental.l()[(i, j)] - fresh.l()[(i, j)]).abs() < 1e-12,
+                    "L({i},{j})"
+                );
+            }
+        }
+        assert!((incremental.log_det() - fresh.log_det()).abs() < 1e-12);
+        // Solves agree too.
+        let rhs = vec![1.0, 2.0, 3.0, 4.0];
+        let xi = incremental.solve(&rhs).unwrap();
+        let xf = fresh.solve(&rhs).unwrap();
+        for (a, b) in xi.iter().zip(&xf) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn extend_rejects_non_spd_border() {
+        let a = spd3();
+        let mut ch = Cholesky::new(&a).unwrap();
+        // c too small: bordered matrix loses positive definiteness.
+        assert!(matches!(
+            ch.extend(&[10.0, 10.0, 10.0], 1.0),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        // Wrong border length.
+        let mut ch = Cholesky::new(&a).unwrap();
+        assert!(matches!(
+            ch.extend(&[1.0], 5.0),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn repeated_extension_grows_from_scalar() {
+        // Build a 3x3 SPD factor one row at a time from a 1x1 seed.
+        let a = spd3();
+        let mut ch = Cholesky::new(&Matrix::from_vec(1, 1, vec![a[(0, 0)]])).unwrap();
+        ch.extend(&[a[(0, 1)]], a[(1, 1)]).unwrap();
+        ch.extend(&[a[(0, 2)], a[(1, 2)]], a[(2, 2)]).unwrap();
+        let fresh = Cholesky::new(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((ch.l()[(i, j)] - fresh.l()[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lower_and_upper_solves_are_consistent() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = vec![0.5, 1.5, -1.0];
+        let z = ch.solve_lower(&b).unwrap();
+        // L z should reproduce b.
+        let lz = ch.l().matvec(&z).unwrap();
+        for (got, want) in lz.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-12);
+        }
+        let x = ch.solve_upper(&b).unwrap();
+        let ltx = ch.l().transpose().matvec(&x).unwrap();
+        for (got, want) in ltx.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type shared by the linear-algebra routines.
+
+use std::fmt;
+
+/// Errors produced by dense linear-algebra operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible (e.g. `m×n · p×q` with `n != p`).
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A matrix expected to be symmetric positive definite was not, even
+    /// after the maximum jitter was added to its diagonal.
+    NotPositiveDefinite {
+        /// Index of the pivot where factorization broke down.
+        pivot: usize,
+        /// Value found at the failing pivot.
+        value: f64,
+    },
+    /// An operation requiring a square matrix received a rectangular one.
+    NotSquare {
+        /// Actual shape as `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// An operation received an empty matrix or vector where data is required.
+    Empty(&'static str),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs {}x{}, rhs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot} = {value}"
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Empty(what) => write!(f, "{what} must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("2x3"));
+
+        let e = LinalgError::NotPositiveDefinite {
+            pivot: 1,
+            value: -0.5,
+        };
+        assert!(e.to_string().contains("positive definite"));
+
+        let e = LinalgError::NotSquare { shape: (3, 4) };
+        assert!(e.to_string().contains("3x4"));
+
+        let e = LinalgError::Empty("vector");
+        assert!(e.to_string().contains("vector"));
+    }
+}

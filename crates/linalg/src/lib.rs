@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Dense linear algebra and statistics substrate for the active-learning stack.
+//!
+//! This crate deliberately hand-rolls the small amount of numerical machinery
+//! that Gaussian process regression needs — dense matrices, Cholesky
+//! factorization of symmetric positive definite systems, triangular solves,
+//! log-determinants — plus the descriptive statistics and random sampling
+//! helpers used by the dataset pipeline and the experiment harness.
+//!
+//! Everything is `f64`; the matrices involved in GPR over a few hundred
+//! training points are small enough that cache-blocking or SIMD dispatch
+//! would be premature. The hot kernels (`Matrix::matmul`, [`Cholesky`])
+//! are written as straightforward loops over contiguous row-major storage so
+//! the compiler can vectorize them.
+
+pub mod cholesky;
+pub mod error;
+pub mod matrix;
+pub mod ops;
+pub mod rng;
+pub mod stats;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use matrix::Matrix;

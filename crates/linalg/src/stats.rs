@@ -1,0 +1,202 @@
+//! Descriptive statistics used for dataset summaries (paper Table I) and for
+//! the violin/quartile views of Fig. 2.
+
+/// Arithmetic mean. Returns `NaN` for empty input.
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Sample variance (divides by `n-1`). Returns `NaN` when `n < 2`.
+pub fn variance(v: &[f64]) -> f64 {
+    if v.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(v);
+    v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(v: &[f64]) -> f64 {
+    variance(v).sqrt()
+}
+
+/// Quantile with linear interpolation between closest ranks
+/// (the "linear" method used by NumPy/R type 7). `q` in `[0, 1]`.
+/// Returns `NaN` for empty input.
+pub fn quantile(v: &[f64], q: f64) -> f64 {
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    let mut sorted = v.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(v: &[f64]) -> f64 {
+    quantile(v, 0.5)
+}
+
+/// Minimum. Returns `NaN` for empty input.
+pub fn min(v: &[f64]) -> f64 {
+    v.iter().copied().fold(f64::NAN, f64::min)
+}
+
+/// Maximum. Returns `NaN` for empty input.
+pub fn max(v: &[f64]) -> f64 {
+    v.iter().copied().fold(f64::NAN, f64::max)
+}
+
+/// Five-number summary plus mean — one row of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute the summary of a (non-empty) sample.
+    pub fn of(v: &[f64]) -> Summary {
+        Summary {
+            min: min(v),
+            q1: quantile(v, 0.25),
+            median: median(v),
+            mean: mean(v),
+            q3: quantile(v, 0.75),
+            max: max(v),
+        }
+    }
+
+    /// Interquartile range `q3 - q1` (the thick bar of a violin plot).
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Root-mean-square of a vector of errors: `sqrt(Σ e_i² / n)`
+/// (paper Eq. 10 with `e` already formed).
+pub fn rms(errors: &[f64]) -> f64 {
+    if errors.is_empty() {
+        return f64::NAN;
+    }
+    (errors.iter().map(|e| e * e).sum::<f64>() / errors.len() as f64).sqrt()
+}
+
+/// Weighted root-mean-square `sqrt(Σ ρ_i e_i²)` with `Σ ρ_i = 1` expected
+/// (paper Eq. 12's diagonal weighting).
+pub fn weighted_rms(errors: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(errors.len(), weights.len());
+    if errors.is_empty() {
+        return f64::NAN;
+    }
+    errors
+        .iter()
+        .zip(weights)
+        .map(|(e, w)| w * e * e)
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Histogram with equal-width bins over `[lo, hi]`; values outside clamp to
+/// the edge bins. Used to print textual violin shapes for Fig. 2.
+pub fn histogram(v: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0 && hi > lo);
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in v {
+        let b = (((x - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        counts[b] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((variance(&v) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&v) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[1.0]).is_nan());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert!((median(&v) - 2.5).abs() < 1e-12);
+        assert!((quantile(&v, 0.25) - 1.75).abs() < 1e-12);
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn median_odd_length() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(min(&[3.0, -1.0, 2.0]), -1.0);
+        assert_eq!(max(&[3.0, -1.0, 2.0]), 3.0);
+        assert!(min(&[]).is_nan());
+    }
+
+    #[test]
+    fn summary_and_iqr() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = Summary::of(&v);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.iqr() - 2.0).abs() < 1e-12);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_matches_hand_computation() {
+        assert!((rms(&[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert!(rms(&[]).is_nan());
+    }
+
+    #[test]
+    fn weighted_rms_uniform_weights_match_rms() {
+        let e = [1.0, -2.0, 3.0];
+        let w = [1.0 / 3.0; 3];
+        assert!((weighted_rms(&e, &w) - rms(&e)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        // -1.0 clamps into bin 0; 0.5 lands on the boundary and goes to bin 1;
+        // 2.0 clamps into bin 1.
+        let h = histogram(&[-1.0, 0.1, 0.5, 0.9, 2.0], 0.0, 1.0, 2);
+        assert_eq!(h, vec![2, 3]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Online active learning: instead of consulting a precomputed database
+//! (the paper's offline simulator), drive the *live* AMR solver — each AL
+//! iteration launches the selected simulation, measures it, and retrains.
+//! This is the workflow an experimenter would run against a real cluster.
+//!
+//! Run: `cargo run --release --example online_al`
+
+use al_for_amr::amr::{run_simulation, MachineModel, SolverProfile};
+use al_for_amr::dataset::transform::log10_response;
+use al_for_amr::dataset::{FeatureScaler, SweepGrid};
+use al_for_amr::gp::{FitOptions, GpModel, KernelKind};
+use al_for_amr::linalg::rng::weighted_index;
+use al_for_amr::linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Memory budget per process, MB: candidates predicted above it are
+/// filtered out (RGMA's safety rule).
+const MEM_LIMIT_MB: f64 = 3.0;
+
+/// Iterations of online AL to run.
+const ITERATIONS: usize = 12;
+
+fn main() {
+    // Candidate pool: the small sweep grid (32 configurations).
+    let grid = SweepGrid::small();
+    let mut candidates = grid.all_configs();
+    let scaler = FeatureScaler::fit(
+        &candidates
+            .iter()
+            .map(|c| c.features())
+            .collect::<Vec<_>>(),
+    );
+    let machine = MachineModel::default();
+    let profile = SolverProfile::smoke();
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // Bootstrap: run the cheapest-looking configuration first (the paper's
+    // "verify correctness on a new platform" first run).
+    let first = candidates.remove(0);
+    println!("bootstrap run: {first:?}");
+    let outcome = run_simulation(&first, profile, &machine, 0);
+    let mut xs: Vec<[f64; 5]> = vec![scaler.transform(&first.features())];
+    let mut log_costs = vec![log10_response(outcome.cost_node_hours)];
+    let mut log_mems = vec![log10_response(outcome.memory_mb)];
+    let mut total_cost = outcome.cost_node_hours;
+
+    let mut gp_cost = GpModel::new(KernelKind::Rbf.build(0.3), 1e-3);
+    let mut gp_mem = GpModel::new(KernelKind::Rbf.build(0.3), 1e-3);
+    let fit = FitOptions::default();
+    let train = |gp: &mut GpModel, xs: &[[f64; 5]], ys: &[f64]| {
+        let data: Vec<f64> = xs.iter().flatten().copied().collect();
+        let x = Matrix::from_vec(xs.len(), 5, data);
+        gp.fit_optimized(&x, ys, &fit).expect("fit");
+    };
+    train(&mut gp_cost, &xs, &log_costs);
+    train(&mut gp_mem, &xs, &log_mems);
+
+    let limit_log = MEM_LIMIT_MB.log10();
+    println!("memory limit: {MEM_LIMIT_MB} MB per process\n");
+    println!("iter  p  mx  maxlevel    r0  rhoin   pred-cost  actual-cost  mem(MB)  safe?");
+
+    for iter in 0..ITERATIONS {
+        if candidates.is_empty() {
+            println!("candidate pool exhausted");
+            break;
+        }
+        // Predict every remaining candidate.
+        let rows: Vec<f64> = candidates
+            .iter()
+            .flat_map(|c| scaler.transform(&c.features()))
+            .collect();
+        let xq = Matrix::from_vec(candidates.len(), 5, rows);
+        let pc = gp_cost.predict(&xq).expect("predict cost");
+        let pm = gp_mem.predict(&xq).expect("predict mem");
+
+        // RGMA: filter unsafe candidates, goodness-draw among the rest.
+        let safe: Vec<usize> = (0..candidates.len())
+            .filter(|&i| pm.mean[i] < limit_log)
+            .collect();
+        if safe.is_empty() {
+            println!("all remaining candidates predicted to exceed the limit; stopping");
+            break;
+        }
+        let weights: Vec<f64> = safe
+            .iter()
+            .map(|&i| 10f64.powf(pc.std[i] - pc.mean[i]))
+            .collect();
+        let pick = safe[weighted_index(&mut rng, &weights).expect("draw")];
+        let predicted_cost = 10f64.powf(pc.mean[pick]);
+        let config = candidates.remove(pick);
+
+        // Run the actual simulation.
+        let outcome = run_simulation(&config, profile, &machine, 0);
+        total_cost += outcome.cost_node_hours;
+        let safe_actual = outcome.memory_mb < MEM_LIMIT_MB;
+        println!(
+            "{iter:>4} {:>2} {:>3} {:>9} {:>5.2} {:>6.2}  {:>10.4}  {:>11.4}  {:>7.3}  {}",
+            config.p,
+            config.mx,
+            config.maxlevel,
+            config.r0,
+            config.rhoin,
+            predicted_cost,
+            outcome.cost_node_hours,
+            outcome.memory_mb,
+            if safe_actual { "yes" } else { "VIOLATION" }
+        );
+
+        // Retrain with the new measurement.
+        xs.push(scaler.transform(&config.features()));
+        log_costs.push(log10_response(outcome.cost_node_hours));
+        log_mems.push(log10_response(outcome.memory_mb));
+        train(&mut gp_cost, &xs, &log_costs);
+        train(&mut gp_mem, &xs, &log_mems);
+    }
+
+    println!("\ntotal cost of the online campaign: {total_cost:.3} node-hours");
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the cost- and memory-aware active learning stack.
+//!
+//! Re-exports every layer so examples and downstream users can depend on a
+//! single crate:
+//!
+//! - [`linalg`] — dense linear algebra and statistics substrate
+//! - [`gp`] — Gaussian process regression (kernels, fitting, prediction)
+//! - [`amr`] — block-structured AMR Euler solver and machine model
+//! - [`dataset`] — parameter sweep, dataset generation, transforms, partitions
+//! - [`al`] — the active-learning procedure, selection strategies and metrics
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use al_amr_sim as amr;
+pub use al_core as al;
+pub use al_dataset as dataset;
+pub use al_gp as gp;
+pub use al_linalg as linalg;

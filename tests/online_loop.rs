@@ -1,0 +1,81 @@
+//! Integration test: online AL against the live solver (no precomputed
+//! dataset), mirroring `examples/online_al.rs` with assertions.
+
+use al_for_amr::amr::{run_simulation, MachineModel, SolverProfile};
+use al_for_amr::dataset::transform::log10_response;
+use al_for_amr::dataset::{FeatureScaler, SweepGrid};
+use al_for_amr::gp::{FitOptions, GpModel, KernelKind};
+use al_for_amr::linalg::Matrix;
+
+#[test]
+fn online_al_loop_runs_and_improves() {
+    let grid = SweepGrid::small();
+    let mut candidates = grid.all_configs();
+    let scaler = FeatureScaler::fit(
+        &candidates
+            .iter()
+            .map(|c| c.features())
+            .collect::<Vec<_>>(),
+    );
+    let machine = MachineModel::default();
+    let profile = SolverProfile::smoke();
+
+    // Bootstrap with two measurements.
+    let mut xs: Vec<[f64; 5]> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    let mut measured: Vec<(al_for_amr::amr::SimulationConfig, f64)> = Vec::new();
+    for _ in 0..2 {
+        let config = candidates.remove(0);
+        let outcome = run_simulation(&config, profile, &machine, 0);
+        xs.push(scaler.transform(&config.features()));
+        ys.push(log10_response(outcome.cost_node_hours));
+        measured.push((config, outcome.cost_node_hours));
+    }
+
+    let fit = FitOptions {
+        n_restarts: 1,
+        max_iters: 25,
+        ..FitOptions::default()
+    };
+    let mut gp = GpModel::new(KernelKind::Rbf.build(0.3), 1e-3);
+
+    // 6 online iterations of pure uncertainty sampling.
+    for _ in 0..6 {
+        let data: Vec<f64> = xs.iter().flatten().copied().collect();
+        gp.fit_optimized(&Matrix::from_vec(xs.len(), 5, data), &ys, &fit)
+            .expect("fit");
+
+        let rows: Vec<f64> = candidates
+            .iter()
+            .flat_map(|c| scaler.transform(&c.features()))
+            .collect();
+        let pred = gp
+            .predict(&Matrix::from_vec(candidates.len(), 5, rows))
+            .expect("predict");
+        let pick = al_for_amr::linalg::ops::argmax(&pred.std).expect("candidates remain");
+        let config = candidates.remove(pick);
+        let outcome = run_simulation(&config, profile, &machine, 0);
+        xs.push(scaler.transform(&config.features()));
+        ys.push(log10_response(outcome.cost_node_hours));
+        measured.push((config, outcome.cost_node_hours));
+    }
+
+    assert_eq!(measured.len(), 8);
+    assert_eq!(candidates.len(), 32 - 8);
+
+    // Final model: in-sample predictions must be within a factor ~2 of the
+    // measured costs (log-space fit on 8 noisy points).
+    let data: Vec<f64> = xs.iter().flatten().copied().collect();
+    gp.fit_optimized(&Matrix::from_vec(xs.len(), 5, data), &ys, &fit)
+        .expect("final fit");
+    for (config, cost) in &measured {
+        let (mu, _) = gp
+            .predict_one(&scaler.transform(&config.features()))
+            .expect("predict");
+        let ratio = 10f64.powf(mu) / cost;
+        assert!(
+            ratio > 0.3 && ratio < 3.0,
+            "in-sample prediction off by {ratio} for {config:?}"
+        );
+    }
+}
