@@ -1,0 +1,337 @@
+//! `alint.toml`: lint scopes and the grandfathered-violation allowlist.
+//!
+//! The allowlist is a *ratchet*: each entry budgets a number of existing
+//! violations of one lint in one file. New violations push a file over its
+//! budget and fail the check; paying debt down below the budget produces a
+//! nagging note until the entry is tightened. This keeps the list honest in
+//! both directions without storing brittle line numbers.
+//!
+//! The parser below handles exactly the TOML subset the config uses —
+//! `[table]` headers, `[[array-of-table]]` headers, `key = "string"`,
+//! `key = integer`, and `key = ["a", "b"]` single-line string arrays —
+//! because no TOML crate is available offline.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One grandfathered budget: up to `count` diagnostics of `lint` in `path`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allowance {
+    pub path: String,
+    pub lint: String,
+    pub count: usize,
+    pub reason: String,
+}
+
+/// Parsed configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crate roots whose `src/` trees L1 (panic-freedom) applies to.
+    pub lib_crates: Vec<String>,
+    /// Crate roots whose public `Result` functions L3 (typed errors) covers.
+    pub typed_error_crates: Vec<String>,
+    /// Files L4 (lossy casts) covers.
+    pub hot_paths: Vec<String>,
+    /// Files exempt from L2 (bare float comparison).
+    pub float_cmp_approved: Vec<String>,
+    /// Directories (workspace-relative) scanned for sources.
+    pub scan_roots: Vec<String>,
+    pub allowances: Vec<Allowance>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            lib_crates: [
+                "crates/linalg",
+                "crates/gp",
+                "crates/amr",
+                "crates/dataset",
+                "crates/core",
+            ]
+            .map(String::from)
+            .to_vec(),
+            typed_error_crates: ["crates/linalg", "crates/gp"].map(String::from).to_vec(),
+            hot_paths: [
+                "crates/linalg/src/cholesky.rs",
+                "crates/gp/src/gp.rs",
+                "crates/amr/src/tree.rs",
+            ]
+            .map(String::from)
+            .to_vec(),
+            float_cmp_approved: Vec::new(),
+            scan_roots: ["crates", "src"].map(String::from).to_vec(),
+            allowances: Vec::new(),
+        }
+    }
+}
+
+/// A config-file problem with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "alint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// `key = value` pairs of one table, each with its source line.
+type KeyedValues = BTreeMap<String, (Value, usize)>;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Value {
+    Str(String),
+    Int(usize),
+    StrArray(Vec<String>),
+}
+
+fn parse_value(raw: &str, line: usize) -> Result<Value, ConfigError> {
+    let raw = raw.trim();
+    if let Some(rest) = raw.strip_prefix('"') {
+        let Some(end) = rest.find('"') else {
+            return Err(ConfigError {
+                line,
+                message: "unterminated string".into(),
+            });
+        };
+        return Ok(Value::Str(rest[..end].to_string()));
+    }
+    if let Some(inner) = raw.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return Err(ConfigError {
+                line,
+                message: "arrays must be closed on the same line".into(),
+            });
+        };
+        let mut items = Vec::new();
+        for piece in inner.split(',') {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            match parse_value(piece, line)? {
+                Value::Str(s) => items.push(s),
+                _ => {
+                    return Err(ConfigError {
+                        line,
+                        message: "only string arrays are supported".into(),
+                    })
+                }
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    raw.parse::<usize>()
+        .map(Value::Int)
+        .map_err(|_| ConfigError {
+            line,
+            message: format!("expected string, integer, or string array, got `{raw}`"),
+        })
+}
+
+/// Parse the TOML subset described in the module docs.
+pub fn parse(text: &str) -> Result<Config, ConfigError> {
+    let mut config = Config::default();
+    // Tables other than [[allow]] collect into one namespace; the file's
+    // section headers are organizational.
+    let mut scalar_keys: KeyedValues = BTreeMap::new();
+    let mut current_allow: Option<KeyedValues> = None;
+    let mut finished_allows: Vec<(KeyedValues, usize)> = Vec::new();
+    let mut allow_start = 0usize;
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(done) = current_allow.take() {
+                finished_allows.push((done, allow_start));
+            }
+            current_allow = Some(BTreeMap::new());
+            allow_start = line_no;
+            continue;
+        }
+        if line.starts_with("[[") {
+            return Err(ConfigError {
+                line: line_no,
+                message: format!("unknown array-of-tables `{line}`"),
+            });
+        }
+        if line.starts_with('[') {
+            // Section header: close any open [[allow]] entry.
+            if let Some(done) = current_allow.take() {
+                finished_allows.push((done, allow_start));
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ConfigError {
+                line: line_no,
+                message: format!("expected `key = value`, got `{line}`"),
+            });
+        };
+        let key = key.trim().to_string();
+        let value = parse_value(value, line_no)?;
+        match &mut current_allow {
+            Some(entry) => {
+                entry.insert(key, (value, line_no));
+            }
+            None => {
+                scalar_keys.insert(key, (value, line_no));
+            }
+        }
+    }
+    if let Some(done) = current_allow.take() {
+        finished_allows.push((done, allow_start));
+    }
+
+    let mut take_list = |name: &str, target: &mut Vec<String>| -> Result<(), ConfigError> {
+        if let Some((value, line)) = scalar_keys.remove(name) {
+            match value {
+                Value::StrArray(items) => *target = items,
+                _ => {
+                    return Err(ConfigError {
+                        line,
+                        message: format!("`{name}` must be a string array"),
+                    })
+                }
+            }
+        }
+        Ok(())
+    };
+    take_list("lib_crates", &mut config.lib_crates)?;
+    take_list("typed_error_crates", &mut config.typed_error_crates)?;
+    take_list("hot_paths", &mut config.hot_paths)?;
+    take_list("float_cmp_approved", &mut config.float_cmp_approved)?;
+    take_list("scan_roots", &mut config.scan_roots)?;
+    if let Some((key, (_, line))) = scalar_keys.into_iter().next() {
+        return Err(ConfigError {
+            line,
+            message: format!("unknown key `{key}`"),
+        });
+    }
+
+    for (entry, start_line) in finished_allows {
+        let mut path = None;
+        let mut lint = None;
+        let mut count = None;
+        let mut reason = String::new();
+        for (key, (value, line)) in entry {
+            match (key.as_str(), value) {
+                ("path", Value::Str(s)) => path = Some(s),
+                ("lint", Value::Str(s)) => lint = Some(s),
+                ("count", Value::Int(n)) => count = Some(n),
+                ("reason", Value::Str(s)) => reason = s,
+                (other, _) => {
+                    return Err(ConfigError {
+                        line,
+                        message: format!("unknown or mistyped [[allow]] key `{other}`"),
+                    })
+                }
+            }
+        }
+        let missing = |what: &str| ConfigError {
+            line: start_line,
+            message: format!("[[allow]] entry is missing `{what}`"),
+        };
+        config.allowances.push(Allowance {
+            path: path.ok_or_else(|| missing("path"))?,
+            lint: lint.ok_or_else(|| missing("lint"))?,
+            count: count.ok_or_else(|| missing("count"))?,
+            reason,
+        });
+    }
+
+    Ok(config)
+}
+
+/// Strip a `#` comment, respecting string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Load `alint.toml` from `root`, or defaults when the file is absent.
+pub fn load(root: &Path) -> Result<Config, Box<dyn std::error::Error>> {
+    let path = root.join("alint.toml");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Ok(parse(&text)?),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+        Err(e) => Err(format!("reading {}: {e}", path.display()).into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scopes_and_allowances() {
+        let cfg = parse(
+            r#"
+# comment
+[scope]
+lib_crates = ["crates/a", "crates/b"]
+hot_paths = ["crates/a/src/hot.rs"]
+
+[[allow]]
+path = "crates/a/src/x.rs"   # trailing comment
+lint = "L1"
+count = 3
+reason = "grandfathered"
+
+[[allow]]
+path = "crates/b/src/y.rs"
+lint = "L4"
+count = 1
+"#,
+        )
+        .expect("parse");
+        assert_eq!(cfg.lib_crates, vec!["crates/a", "crates/b"]);
+        assert_eq!(cfg.hot_paths, vec!["crates/a/src/hot.rs"]);
+        assert_eq!(cfg.allowances.len(), 2);
+        assert_eq!(cfg.allowances[0].count, 3);
+        assert_eq!(cfg.allowances[0].reason, "grandfathered");
+        assert_eq!(cfg.allowances[1].lint, "L4");
+    }
+
+    #[test]
+    fn missing_allow_fields_are_errors() {
+        let err = parse("[[allow]]\npath = \"x\"\nlint = \"L1\"\n").unwrap_err();
+        assert!(err.message.contains("count"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_are_errors() {
+        assert!(parse("wibble = 3\n").is_err());
+        assert!(parse("[[allow]]\nwibble = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn defaults_cover_the_five_lib_crates() {
+        let cfg = Config::default();
+        assert_eq!(cfg.lib_crates.len(), 5);
+        assert!(cfg.typed_error_crates.contains(&"crates/gp".to_string()));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = parse("[[allow]]\npath = \"a#b.rs\"\nlint = \"L1\"\ncount = 1\n").expect("ok");
+        assert_eq!(cfg.allowances[0].path, "a#b.rs");
+    }
+}

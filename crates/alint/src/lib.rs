@@ -1,0 +1,187 @@
+//! alint — workspace static analysis for numerical-robustness invariants.
+//!
+//! The four lints (L1 panic_site, L2 float_cmp, L3 typed_error, L4
+//! lossy_cast) encode repo-specific rules that clippy cannot express
+//! because they depend on which crate, module, or file the code lives in.
+//! See `lints` for the rules, `config` for `alint.toml`, and `DESIGN.md`
+//! ("Static analysis & invariants") for the policy.
+//!
+//! Run with `cargo run -p alint -- check` from the workspace root.
+
+// Tests compare exactly-copied floats; the cfg(test) compile allows that
+// while the regular compile still lints library code.
+#![cfg_attr(test, allow(clippy::float_cmp))]
+
+pub mod config;
+pub mod lexer;
+pub mod lints;
+pub mod workspace;
+
+use config::Config;
+use lints::Diagnostic;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Outcome of a full workspace check, with the allowlist applied.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Diagnostics not covered by any allowance — these fail the check.
+    pub violations: Vec<Diagnostic>,
+    /// Grandfathered diagnostics absorbed by `[[allow]]` budgets.
+    pub grandfathered: Vec<Diagnostic>,
+    /// Budgets larger than the current violation count: `(path, lint,
+    /// budget, actual)`. The ratchet should be tightened.
+    pub slack: Vec<(String, String, usize, usize)>,
+    /// Allowances whose file has no diagnostics at all (stale entries).
+    pub unused: Vec<(String, String)>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Lint every source file under `root` and apply `config`'s allowlist.
+pub fn check_workspace(root: &Path, config: &Config) -> std::io::Result<Report> {
+    let raw = raw_diagnostics(root, config)?;
+    Ok(apply_allowlist(raw.0, config, raw.1))
+}
+
+/// All diagnostics before allowlist filtering, plus the file count.
+pub fn raw_diagnostics(root: &Path, config: &Config) -> std::io::Result<(Vec<Diagnostic>, usize)> {
+    let files = workspace::scan(root, config)?;
+    let n = files.len();
+    let mut all = Vec::new();
+    for file in &files {
+        let src = std::fs::read_to_string(&file.abs_path)?;
+        let lexed = lexer::lex(&src);
+        all.extend(lints::lint_file(&file.rel_path, &lexed, file.scope));
+    }
+    all.sort();
+    Ok((all, n))
+}
+
+/// Split raw diagnostics into violations and grandfathered findings using
+/// the ratchet budgets. Within one (path, lint) bucket the *first* `count`
+/// diagnostics (in line order) are absorbed; anything beyond the budget is
+/// a new violation.
+pub fn apply_allowlist(
+    diagnostics: Vec<Diagnostic>,
+    config: &Config,
+    files_scanned: usize,
+) -> Report {
+    let mut budgets: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for a in &config.allowances {
+        *budgets.entry((a.path.clone(), a.lint.clone())).or_insert(0) += a.count;
+    }
+
+    let mut report = Report {
+        files_scanned,
+        ..Report::default()
+    };
+    let mut used: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for d in diagnostics {
+        let key = (d.path.clone(), d.lint.to_string());
+        let budget = budgets.get(&key).copied().unwrap_or(0);
+        let u = used.entry(key).or_insert(0);
+        if *u < budget {
+            *u += 1;
+            report.grandfathered.push(d);
+        } else {
+            report.violations.push(d);
+        }
+    }
+    for ((path, lint), budget) in &budgets {
+        let actual = used
+            .get(&(path.clone(), lint.clone()))
+            .copied()
+            .unwrap_or(0);
+        if actual == 0 {
+            report.unused.push((path.clone(), lint.clone()));
+        } else if actual < *budget {
+            report
+                .slack
+                .push((path.clone(), lint.clone(), *budget, actual));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use config::Allowance;
+
+    fn diag(path: &str, line: u32, lint: &'static str) -> Diagnostic {
+        Diagnostic {
+            path: path.to_string(),
+            line,
+            lint,
+            message: String::new(),
+        }
+    }
+
+    fn config_with(allowances: Vec<Allowance>) -> Config {
+        Config {
+            allowances,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn allowlist_absorbs_up_to_budget() {
+        let cfg = config_with(vec![Allowance {
+            path: "a.rs".into(),
+            lint: "L1".into(),
+            count: 2,
+            reason: String::new(),
+        }]);
+        let diags = vec![
+            diag("a.rs", 1, "L1"),
+            diag("a.rs", 2, "L1"),
+            diag("a.rs", 3, "L1"),
+        ];
+        let report = apply_allowlist(diags, &cfg, 1);
+        assert_eq!(report.grandfathered.len(), 2);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].line, 3, "excess is the later site");
+        assert!(report.slack.is_empty() && report.unused.is_empty());
+    }
+
+    #[test]
+    fn slack_and_unused_budgets_are_reported() {
+        let cfg = config_with(vec![
+            Allowance {
+                path: "a.rs".into(),
+                lint: "L1".into(),
+                count: 5,
+                reason: String::new(),
+            },
+            Allowance {
+                path: "gone.rs".into(),
+                lint: "L4".into(),
+                count: 1,
+                reason: String::new(),
+            },
+        ]);
+        let report = apply_allowlist(vec![diag("a.rs", 1, "L1")], &cfg, 1);
+        assert!(report.is_clean());
+        assert_eq!(report.slack, vec![("a.rs".into(), "L1".into(), 5, 1)]);
+        assert_eq!(report.unused, vec![("gone.rs".into(), "L4".into())]);
+    }
+
+    #[test]
+    fn allowance_for_one_lint_does_not_cover_another() {
+        let cfg = config_with(vec![Allowance {
+            path: "a.rs".into(),
+            lint: "L1".into(),
+            count: 9,
+            reason: String::new(),
+        }]);
+        let report = apply_allowlist(vec![diag("a.rs", 1, "L2")], &cfg, 1);
+        assert_eq!(report.violations.len(), 1);
+    }
+}

@@ -1,0 +1,786 @@
+//! The four lint passes.
+//!
+//! | ID | name         | invariant                                                            |
+//! |----|--------------|----------------------------------------------------------------------|
+//! | L1 | `panic_site` | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in lib crates |
+//! | L2 | `float_cmp`  | no bare `==`/`!=` against floating-point expressions                 |
+//! | L3 | `typed_error`| public `Result` fns in linalg/gp use the crate's typed error         |
+//! | L4 | `lossy_cast` | no unmarked float→int `as` casts in hot-path modules                 |
+//!
+//! All passes skip `#[cfg(test)]` items and honour inline suppression
+//! markers of the form `// alint: allow(L4)` or `// alint: allow(lossy_cast)`
+//! on the same or the immediately preceding line.
+//!
+//! The passes run on the token stream from [`crate::lexer`]; where real type
+//! information would be needed (L2, L4) the heuristics are deliberately
+//! conservative and documented on each pass.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One finding, pointing at a workspace-relative file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    pub path: String,
+    pub line: u32,
+    /// Lint ID: `L1`..`L4`.
+    pub lint: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}({}): {}",
+            self.path,
+            self.line,
+            self.lint,
+            lint_name(self.lint),
+            self.message
+        )
+    }
+}
+
+/// Human-readable name for a lint ID.
+pub fn lint_name(id: &str) -> &'static str {
+    match id {
+        "L1" => "panic_site",
+        "L2" => "float_cmp",
+        "L3" => "typed_error",
+        "L4" => "lossy_cast",
+        _ => "unknown",
+    }
+}
+
+/// Which passes apply to the file being linted (decided by scope config).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileScope {
+    /// L1: the file belongs to a library crate's `src/` tree.
+    pub lib_crate: bool,
+    /// L2: the file is *not* in the approved-modules list.
+    pub float_cmp: bool,
+    /// L3: the file belongs to a typed-error crate's `src/` tree.
+    pub typed_error: bool,
+    /// L4: the file is a hot-path module.
+    pub hot_path: bool,
+}
+
+/// Run every applicable pass over one lexed file.
+pub fn lint_file(path: &str, lexed: &Lexed, scope: FileScope) -> Vec<Diagnostic> {
+    let tokens = &lexed.tokens;
+    let in_test = test_region_mask(tokens);
+    let suppressed = suppression_markers(lexed);
+    let mut diagnostics = Vec::new();
+
+    let mut push = |lint: &'static str, line: u32, message: String| {
+        let by_id = suppressed
+            .get(&line)
+            .or_else(|| suppressed.get(&(line.saturating_sub(1))));
+        if let Some(ids) = by_id {
+            if ids.contains(lint) || ids.contains(lint_name(lint)) {
+                return;
+            }
+        }
+        diagnostics.push(Diagnostic {
+            path: path.to_string(),
+            line,
+            lint,
+            message,
+        });
+    };
+
+    if scope.lib_crate {
+        l1_panic_sites(tokens, &in_test, &mut push);
+    }
+    if scope.float_cmp {
+        l2_float_cmp(tokens, &in_test, &mut push);
+    }
+    if scope.typed_error {
+        l3_typed_errors(tokens, &in_test, &mut push);
+    }
+    if scope.hot_path {
+        l4_lossy_casts(tokens, &in_test, &mut push);
+    }
+
+    diagnostics.sort();
+    diagnostics
+}
+
+/// Lines carrying `alint: allow(...)` markers, with the lint IDs/names they
+/// suppress. A marker suppresses findings on its own line and the next one.
+fn suppression_markers(lexed: &Lexed) -> BTreeMap<u32, BTreeSet<String>> {
+    let mut map: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    for (line, text) in &lexed.comments {
+        let Some(rest) = text.strip_prefix("alint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(args) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.strip_suffix(')'))
+        else {
+            continue;
+        };
+        let entry = map.entry(*line).or_default();
+        for id in args.split(',') {
+            entry.insert(id.trim().to_string());
+        }
+    }
+    // A marker on line N also covers line N+1 (comment-above style).
+    let extended: Vec<(u32, BTreeSet<String>)> = map
+        .iter()
+        .map(|(line, ids)| (*line + 1, ids.clone()))
+        .collect();
+    for (line, ids) in extended {
+        map.entry(line).or_default().extend(ids);
+    }
+    map
+}
+
+/// Boolean mask over tokens: `true` when the token is inside a
+/// `#[cfg(test)]`-gated item (attribute plus the item it decorates).
+fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].text == "#" && i + 1 < tokens.len() && tokens[i + 1].text == "[") {
+            i += 1;
+            continue;
+        }
+        // Parse the attribute token range.
+        let attr_start = i;
+        let Some(attr_end) = matching_delim(tokens, i + 1, "[", "]") else {
+            break;
+        };
+        let is_cfg_test = tokens[attr_start..=attr_end]
+            .windows(3)
+            .any(|w| w[0].text == "cfg" && w[1].text == "(" && w[2].text == "test");
+        if !is_cfg_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes, then consume the decorated item:
+        // everything up to and including its body `{..}` or terminating `;`.
+        let mut j = attr_end + 1;
+        while j + 1 < tokens.len() && tokens[j].text == "#" && tokens[j + 1].text == "[" {
+            match matching_delim(tokens, j + 1, "[", "]") {
+                Some(end) => j = end + 1,
+                None => break,
+            }
+        }
+        let mut depth = 0i64;
+        let mut item_end = tokens.len() - 1;
+        let mut k = j;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        item_end = k;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    item_end = k;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        for slot in mask.iter_mut().take(item_end + 1).skip(attr_start) {
+            *slot = true;
+        }
+        i = item_end + 1;
+    }
+    mask
+}
+
+/// Index of the delimiter closing `tokens[open_at]` (which must equal
+/// `open`), or `None` when unbalanced.
+fn matching_delim(tokens: &[Token], open_at: usize, open: &str, close: &str) -> Option<usize> {
+    debug_assert_eq!(tokens[open_at].text, open);
+    let mut depth = 0i64;
+    for (k, token) in tokens.iter().enumerate().skip(open_at) {
+        if token.text == open {
+            depth += 1;
+        } else if token.text == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+const INT_TYPES: [&str; 12] = [
+    "usize", "u64", "u32", "u16", "u8", "u128", "isize", "i64", "i32", "i16", "i8", "i128",
+];
+
+/// Float-returning method names used to classify a cast operand as floating
+/// point without type information. Ambiguous names that exist on both int
+/// and float types (`abs`, `min`, `max`, `pow*` on ints) are excluded.
+const FLOAT_METHODS: [&str; 20] = [
+    "sqrt",
+    "ln",
+    "log10",
+    "log2",
+    "exp",
+    "exp2",
+    "exp_m1",
+    "ln_1p",
+    "floor",
+    "ceil",
+    "round",
+    "trunc",
+    "powf",
+    "sin",
+    "cos",
+    "tan",
+    "hypot",
+    "to_degrees",
+    "to_radians",
+    "mul_add",
+];
+
+/// L1: panic-capable constructs in library code.
+fn l1_panic_sites(
+    tokens: &[Token],
+    in_test: &[bool],
+    push: &mut impl FnMut(&'static str, u32, String),
+) {
+    for (i, token) in tokens.iter().enumerate() {
+        if in_test[i] || token.kind != TokenKind::Ident {
+            continue;
+        }
+        let next = tokens.get(i + 1).map(|t| t.text.as_str());
+        match token.text.as_str() {
+            // `.unwrap()` / `.expect(` method calls. Requiring the leading
+            // dot keeps locally defined fns named `unwrap` out of scope.
+            "unwrap" | "expect" if next == Some("(") && i > 0 && tokens[i - 1].text == "." => {
+                push(
+                    "L1",
+                    token.line,
+                    format!(
+                        ".{}() can panic mid-run; propagate a typed error instead",
+                        token.text
+                    ),
+                );
+            }
+            "panic" | "todo" | "unimplemented" if next == Some("!") => {
+                push(
+                    "L1",
+                    token.line,
+                    format!(
+                        "{}! aborts the whole sweep; return the crate's error type",
+                        token.text
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// L2: `==` / `!=` with a floating-point side.
+///
+/// Without type inference the pass flags comparisons where either operand's
+/// adjacent token chain is *manifestly* float: a float literal, an `f64`/
+/// `f32` path, `NAN`/`INFINITY`/`EPSILON` consts, or a call to a
+/// float-returning method. `a == b` on opaque identifiers is not flagged —
+/// clippy's `float_cmp` covers the typed cases.
+fn l2_float_cmp(
+    tokens: &[Token],
+    in_test: &[bool],
+    push: &mut impl FnMut(&'static str, u32, String),
+) {
+    let is_floaty_at = |idx: usize| -> bool {
+        let Some(token) = tokens.get(idx) else {
+            return false;
+        };
+        match token.kind {
+            TokenKind::Float => true,
+            TokenKind::Ident => {
+                matches!(
+                    token.text.as_str(),
+                    "f64" | "f32" | "NAN" | "INFINITY" | "NEG_INFINITY" | "EPSILON"
+                ) || FLOAT_METHODS.contains(&token.text.as_str())
+            }
+            _ => false,
+        }
+    };
+    for (i, token) in tokens.iter().enumerate() {
+        if in_test[i] || token.kind != TokenKind::Punct {
+            continue;
+        }
+        if token.text != "==" && token.text != "!=" {
+            continue;
+        }
+        // Look a few tokens in both directions: enough to see through
+        // `x.method() == 0.0` and `f64::NAN != y` without crossing `;`.
+        let window = 5usize;
+        let before = (i.saturating_sub(window)..i)
+            .rev()
+            .take_while(|&k| !matches!(tokens[k].text.as_str(), ";" | "{" | "}" | ","));
+        let after = (i + 1..tokens.len().min(i + 1 + window))
+            .take_while(|&k| !matches!(tokens[k].text.as_str(), ";" | "{" | "}" | ","));
+        let floaty = before.clone().any(is_floaty_at) || after.clone().any(is_floaty_at);
+        if floaty {
+            push(
+                "L2",
+                token.line,
+                format!(
+                    "bare `{}` on a floating-point value; compare with an \
+                     epsilon or use total_cmp",
+                    token.text
+                ),
+            );
+        }
+    }
+}
+
+/// L3: public functions returning `Result` must carry the crate's typed
+/// error — `Box<dyn Error>`, `String`, `&str`, and `()` error slots are
+/// rejected. A one-argument `Result<T>` is the crate's alias and passes.
+fn l3_typed_errors(
+    tokens: &[Token],
+    in_test: &[bool],
+    push: &mut impl FnMut(&'static str, u32, String),
+) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Match `pub fn name` — `pub(crate)` and friends are not public API.
+        if tokens[i].text != "pub" || in_test[i] {
+            i += 1;
+            continue;
+        }
+        if tokens.get(i + 1).is_some_and(|t| t.text == "(") {
+            i += 1;
+            continue;
+        }
+        let Some(fn_idx) = tokens
+            .get(i + 1)
+            .filter(|t| t.text == "fn")
+            .map(|_| i + 1)
+            .or_else(|| {
+                // `pub const fn` / `pub unsafe fn` / `pub async fn`.
+                tokens
+                    .get(i + 2)
+                    .filter(|t| t.text == "fn")
+                    .map(|_| i + 2)
+                    .filter(|_| matches!(tokens[i + 1].text.as_str(), "const" | "unsafe" | "async"))
+            })
+        else {
+            i += 1;
+            continue;
+        };
+        let fn_line = tokens[fn_idx].line;
+        // Find the `->` of this signature, tracking nesting so closures or
+        // nested parens inside default bounds don't confuse the scan; stop
+        // at the body `{` or a trait-decl `;`.
+        let mut j = fn_idx + 1;
+        let mut depth = 0i64;
+        let mut arrow = None;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "->" if depth == 0 => {
+                    arrow = Some(j);
+                    break;
+                }
+                "{" | ";" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(arrow) = arrow else {
+            i = j + 1;
+            continue;
+        };
+        // Return type: tokens from arrow+1 to the body `{`, a `;`, or a
+        // top-level `where`.
+        let mut k = arrow + 1;
+        let mut angle = 0i64;
+        let mut ret_end = None;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" | ";" if angle <= 0 => {
+                    ret_end = Some(k);
+                    break;
+                }
+                "where" if angle <= 0 => {
+                    ret_end = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(ret_end) = ret_end else {
+            i = k;
+            continue;
+        };
+        let ret = &tokens[arrow + 1..ret_end];
+        if let Some(message) = untyped_result_error(ret) {
+            push("L3", fn_line, message);
+        }
+        i = ret_end + 1;
+    }
+}
+
+/// Inspect a return-type token slice for a `Result` whose error argument is
+/// stringly or type-erased. Returns the diagnostic message when violated.
+fn untyped_result_error(ret: &[Token]) -> Option<String> {
+    let result_idx = ret
+        .iter()
+        .position(|t| t.text == "Result" || t.text == "AlResult")?;
+    let open = result_idx + 1;
+    if ret.get(open).map(|t| t.text.as_str()) != Some("<") {
+        return None;
+    }
+    // Split the generic arguments at depth-1 commas.
+    let mut depth = 0i64;
+    let mut args: Vec<Vec<&Token>> = vec![Vec::new()];
+    let mut closed = false;
+    for token in &ret[open..] {
+        match token.text.as_str() {
+            "<" => {
+                depth += 1;
+                if depth == 1 {
+                    continue;
+                }
+            }
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    closed = true;
+                    break;
+                }
+            }
+            "," if depth == 1 => {
+                args.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        args.last_mut()?.push(token);
+    }
+    if !closed || args.len() < 2 {
+        // `Result<T>`: the crate's typed alias.
+        return None;
+    }
+    let err_arg = &args[1];
+    let texts: Vec<&str> = err_arg.iter().map(|t| t.text.as_str()).collect();
+    if texts.windows(2).any(|w| w == ["Box", "<"]) && err_arg.iter().any(|t| t.text == "dyn") {
+        return Some(
+            "public Result uses Box<dyn Error>; thread the crate's typed error".to_string(),
+        );
+    }
+    if texts == ["String"] || texts.contains(&"str") {
+        return Some(
+            "public Result uses a stringly error; thread the crate's typed error".to_string(),
+        );
+    }
+    if texts.is_empty() || texts == ["(", ")"] {
+        return Some(
+            "public Result uses `()` as the error; thread the crate's typed error".to_string(),
+        );
+    }
+    None
+}
+
+/// L4: `expr as {int}` where the operand is manifestly floating-point.
+///
+/// The operand is recovered by walking the postfix-expression chain
+/// backwards from `as` (matched `()`/`[]` groups, `.` chains, `::` paths);
+/// it is "manifestly float" under the same evidence L2 uses. Intentional
+/// truncations carry an `// alint: allow(lossy_cast)` marker.
+fn l4_lossy_casts(
+    tokens: &[Token],
+    in_test: &[bool],
+    push: &mut impl FnMut(&'static str, u32, String),
+) {
+    for i in 0..tokens.len() {
+        if in_test[i] || tokens[i].text != "as" || tokens[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let Some(target) = tokens.get(i + 1) else {
+            continue;
+        };
+        if !INT_TYPES.contains(&target.text.as_str()) {
+            continue;
+        }
+        let start = cast_operand_start(tokens, i);
+        let operand = &tokens[start..i];
+        let floaty = operand.iter().enumerate().any(|(k, t)| match t.kind {
+            TokenKind::Float => true,
+            TokenKind::Ident => {
+                t.text == "f64"
+                    || t.text == "f32"
+                    || (FLOAT_METHODS.contains(&t.text.as_str())
+                        && operand.get(k + 1).is_some_and(|n| n.text == "("))
+            }
+            _ => false,
+        });
+        if floaty {
+            push(
+                "L4",
+                tokens[i].line,
+                format!(
+                    "float → {} cast truncates; mark intent with \
+                     `// alint: allow(lossy_cast)` or round explicitly",
+                    target.text
+                ),
+            );
+        }
+    }
+}
+
+/// First token index of the cast operand preceding `tokens[as_idx]`.
+fn cast_operand_start(tokens: &[Token], as_idx: usize) -> usize {
+    let mut j = as_idx;
+    loop {
+        if j == 0 {
+            return 0;
+        }
+        let prev = &tokens[j - 1];
+        match prev.text.as_str() {
+            ")" | "]" => {
+                let close_text = prev.text.clone();
+                let open_text = if close_text == ")" { "(" } else { "[" };
+                // Walk back to the matching opener.
+                let mut depth = 0i64;
+                let mut k = j - 1;
+                loop {
+                    if tokens[k].text == close_text {
+                        depth += 1;
+                    } else if tokens[k].text == open_text {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if k == 0 {
+                        return 0;
+                    }
+                    k -= 1;
+                }
+                j = k;
+            }
+            "." | "::" => {
+                if j - 1 == 0 {
+                    return 0;
+                }
+                j -= 1;
+            }
+            _ => match prev.kind {
+                TokenKind::Ident | TokenKind::Int | TokenKind::Float => {
+                    // Part of the operand if connected via `.`/`::` or it is
+                    // the operand head; decide by looking one further back.
+                    let head = j - 1;
+                    let connector = head
+                        .checked_sub(1)
+                        .map(|k| tokens[k].text == "." || tokens[k].text == "::")
+                        .unwrap_or(false);
+                    if connector {
+                        j = head;
+                    } else {
+                        return head;
+                    }
+                }
+                _ => return j,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str, scope: FileScope) -> Vec<Diagnostic> {
+        lint_file("test.rs", &lex(src), scope)
+    }
+
+    fn all_scopes() -> FileScope {
+        FileScope {
+            lib_crate: true,
+            float_cmp: true,
+            typed_error: true,
+            hot_path: true,
+        }
+    }
+
+    #[test]
+    fn l1_flags_unwrap_expect_panic_todo() {
+        let src = r#"
+            fn f(x: Option<u32>) -> u32 {
+                let a = x.unwrap();
+                let b = x.expect("msg");
+                if a == 0 { panic!("boom"); }
+                if b == 0 { todo!(); }
+                a + b
+            }
+        "#;
+        let diags = run(src, all_scopes());
+        let l1: Vec<_> = diags.iter().filter(|d| d.lint == "L1").collect();
+        assert_eq!(l1.len(), 4, "{l1:?}");
+    }
+
+    #[test]
+    fn l1_ignores_unwrap_or_variants_and_test_mods() {
+        let src = r#"
+            fn f(x: Option<u32>) -> u32 { x.unwrap_or(3).min(x.unwrap_or_default()) }
+            #[cfg(test)]
+            mod tests {
+                fn g(x: Option<u32>) -> u32 { x.unwrap() }
+            }
+            #[cfg(test)]
+            fn h(x: Option<u32>) -> u32 { x.expect("test only") }
+        "#;
+        assert!(run(src, all_scopes()).iter().all(|d| d.lint != "L1"));
+    }
+
+    #[test]
+    fn l1_marker_suppresses() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // alint: allow(L1)\n";
+        assert!(run(src, all_scopes()).is_empty());
+        let above = "// alint: allow(panic_site)\nfn g() { panic!(\"x\") }\n";
+        assert!(run(above, all_scopes()).is_empty());
+    }
+
+    #[test]
+    fn l2_flags_float_literal_comparison() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }";
+        let diags = run(src, all_scopes());
+        assert_eq!(diags.iter().filter(|d| d.lint == "L2").count(), 1);
+        let src = "fn f(x: f64) -> bool { x.sqrt() != 1.0e3 }";
+        assert_eq!(
+            run(src, all_scopes())
+                .iter()
+                .filter(|d| d.lint == "L2")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn l2_ignores_integer_and_opaque_comparisons() {
+        let src = "fn f(n: usize, m: usize) -> bool { n == m && n == 3 }";
+        assert!(run(src, all_scopes()).is_empty());
+        // Opaque floats are clippy's job (it has types); we stay quiet.
+        let src = "fn f(a: f64, b: f64) -> bool { a == b }";
+        assert!(run(src, all_scopes()).iter().all(|d| d.lint != "L2"));
+    }
+
+    #[test]
+    fn l2_sees_nan_consts() {
+        let src = "fn f(x: f64) -> bool { x == f64::NAN }";
+        assert_eq!(
+            run(src, all_scopes())
+                .iter()
+                .filter(|d| d.lint == "L2")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn l3_flags_box_dyn_and_string_errors() {
+        let src = r#"
+            pub fn a() -> Result<u32, Box<dyn std::error::Error>> { Ok(1) }
+            pub fn b() -> Result<u32, String> { Ok(1) }
+            pub fn c() -> Result<Vec<u8>, &'static str> { Ok(vec![]) }
+        "#;
+        let diags = run(src, all_scopes());
+        assert_eq!(
+            diags.iter().filter(|d| d.lint == "L3").count(),
+            3,
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn l3_accepts_typed_and_aliased_results() {
+        let src = r#"
+            pub fn a() -> Result<u32, LinalgError> { Ok(1) }
+            pub fn b() -> Result<Vec<Matrix>> { Ok(vec![]) }
+            pub fn c() -> Result<(), std::io::Error> { Ok(()) }
+            pub fn d<E: std::error::Error>() -> Result<u32, E> { todo!() }
+            fn private() -> Result<u32, String> { Ok(1) }
+            pub(crate) fn semi() -> Result<u32, String> { Ok(1) }
+        "#;
+        let diags = run(src, all_scopes());
+        assert!(diags.iter().all(|d| d.lint != "L3"), "{diags:?}");
+    }
+
+    #[test]
+    fn l3_handles_nested_generics_in_ok_slot() {
+        let src =
+            "pub fn a() -> Result<Vec<Result<u8, Inner>>, Box<dyn Error>> { unimplemented!() }";
+        let diags = run(src, all_scopes());
+        assert_eq!(diags.iter().filter(|d| d.lint == "L3").count(), 1);
+    }
+
+    #[test]
+    fn l4_flags_manifest_float_to_int_casts() {
+        let src = r#"
+            fn f(x: f64) -> usize {
+                let a = (x * 2.0) as usize;
+                let b = x.floor() as u64;
+                let c = 3.7 as i32;
+                a + b as usize + c as usize
+            }
+        "#;
+        let diags = run(src, all_scopes());
+        assert_eq!(
+            diags.iter().filter(|d| d.lint == "L4").count(),
+            3,
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn l4_ignores_int_casts_and_markers() {
+        let src = r#"
+            fn f(n: usize) -> f64 {
+                let a = n as u32;
+                let b = n as f64;
+                let c = (n * 2) as u64;
+                // alint: allow(lossy_cast)
+                let d = (b * 0.5) as usize;
+                a as f64 + b + c as f64 + d as f64
+            }
+        "#;
+        let diags = run(src, all_scopes());
+        assert!(diags.iter().all(|d| d.lint != "L4"), "{diags:?}");
+    }
+
+    #[test]
+    fn scopes_gate_the_passes() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(run(src, FileScope::default()).is_empty());
+        let only_l1 = FileScope {
+            lib_crate: true,
+            ..FileScope::default()
+        };
+        assert_eq!(run(src, only_l1).len(), 1);
+    }
+
+    #[test]
+    fn diagnostics_carry_file_line_and_id() {
+        let src = "\n\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let d = &run(src, all_scopes())[0];
+        assert_eq!(d.path, "test.rs");
+        assert_eq!(d.line, 3);
+        assert_eq!(d.lint, "L1");
+        assert!(d.to_string().contains("test.rs:3: L1(panic_site)"));
+    }
+}

@@ -1,0 +1,168 @@
+//! CLI entry point: `cargo run -p alint -- <check|dump|ratchet>`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/config/IO error.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = "check";
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "check" | "dump" | "ratchet" => {
+                command = match arg.as_str() {
+                    "dump" => "dump",
+                    "ratchet" => "ratchet",
+                    _ => "check",
+                }
+            }
+            "--root" => match iter.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("alint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("alint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+    if !root.is_dir() {
+        // A typo'd --root would otherwise scan zero files and report clean,
+        // turning a misconfigured CI job into a silent pass.
+        eprintln!("alint: root `{}` is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+
+    let config = match alint::config::load(&root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("alint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match command {
+        "dump" => dump(&root, &config),
+        "ratchet" => ratchet(&root, &config),
+        _ => check(&root, &config),
+    }
+}
+
+const USAGE: &str = "\
+usage: cargo run -p alint -- [check|dump|ratchet] [--root <dir>]
+
+  check     lint the workspace, applying the alint.toml allowlist (default)
+  dump      print every raw diagnostic, ignoring the allowlist
+  ratchet   print [[allow]] entries matching the current violation counts
+";
+
+/// Locate the workspace root: the manifest dir's grandparent when built in
+/// place (crates/alint → repo root), else the current directory.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .filter(|p| p.join("Cargo.toml").is_file())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn check(root: &std::path::Path, config: &alint::config::Config) -> ExitCode {
+    let report = match alint::check_workspace(root, config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("alint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.violations {
+        println!("{d}");
+    }
+    for (path, lint, budget, actual) in &report.slack {
+        println!(
+            "note: {path}: {lint} budget is {budget} but only {actual} remain — \
+             tighten the [[allow]] entry in alint.toml"
+        );
+    }
+    for (path, lint) in &report.unused {
+        println!("note: {path}: unused [[allow]] entry for {lint} — remove it from alint.toml");
+    }
+    let grandfathered = report.grandfathered.len();
+    if report.is_clean() {
+        println!(
+            "alint: clean — {} files scanned, {} grandfathered site{} within budget",
+            report.files_scanned,
+            grandfathered,
+            if grandfathered == 1 { "" } else { "s" },
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "alint: {} violation{} in {} files scanned ({} grandfathered)",
+            report.violations.len(),
+            if report.violations.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
+            report.files_scanned,
+            grandfathered,
+        );
+        ExitCode::from(1)
+    }
+}
+
+fn dump(root: &std::path::Path, config: &alint::config::Config) -> ExitCode {
+    match alint::raw_diagnostics(root, config) {
+        Ok((diags, files)) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("alint: {} raw diagnostics in {files} files", diags.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("alint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Emit `[[allow]]` entries for the current state, for seeding or
+/// re-tightening the ratchet after paying down debt.
+fn ratchet(root: &std::path::Path, config: &alint::config::Config) -> ExitCode {
+    match alint::raw_diagnostics(root, config) {
+        Ok((diags, _)) => {
+            let mut counts: BTreeMap<(String, &'static str), usize> = BTreeMap::new();
+            for d in diags {
+                *counts.entry((d.path, d.lint)).or_insert(0) += 1;
+            }
+            for ((path, lint), count) in counts {
+                println!("[[allow]]");
+                println!("path = \"{path}\"");
+                println!("lint = \"{lint}\"");
+                println!("count = {count}");
+                println!("reason = \"grandfathered pending conversion\"");
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("alint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Fixture-driven integration tests: each lint runs over a known-bad and a
+//! known-clean source under `tests/fixtures/` and must report the exact
+//! expected diagnostics, and the CLI must exit nonzero on a violation.
+
+// Integration-test helpers run outside #[cfg(test)], so the in-tests
+// carve-outs from clippy.toml don't reach them.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
+use alint::config::{Allowance, Config};
+use alint::lexer::lex;
+use alint::lints::{lint_file, Diagnostic, FileScope};
+use std::path::{Path, PathBuf};
+
+fn lint_fixture(name: &str, scope: FileScope) -> Vec<Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    lint_file(name, &lex(&src), scope)
+}
+
+fn all_scopes() -> FileScope {
+    FileScope {
+        lib_crate: true,
+        float_cmp: true,
+        typed_error: true,
+        hot_path: true,
+    }
+}
+
+fn only(select: impl Fn(&mut FileScope)) -> FileScope {
+    let mut scope = FileScope::default();
+    select(&mut scope);
+    scope
+}
+
+#[test]
+fn l1_flags_every_panic_site_outside_tests() {
+    let diags = lint_fixture("l1_violations.rs", only(|s| s.lib_crate = true));
+    assert_eq!(diags.len(), 5, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.lint == "L1"), "{diags:#?}");
+    // One diagnostic per construct: unwrap, expect, todo!, unimplemented!,
+    // panic! — and nothing from the #[cfg(test)] module.
+    let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![7, 11, 17, 18, 19], "{diags:#?}");
+}
+
+#[test]
+fn l1_clean_fixture_is_silent_under_every_lint() {
+    let diags = lint_fixture("l1_clean.rs", all_scopes());
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn l2_flags_each_kind_of_float_evidence() {
+    let diags = lint_fixture("l2_violations.rs", only(|s| s.float_cmp = true));
+    assert_eq!(diags.len(), 3, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.lint == "L2"), "{diags:#?}");
+    assert_eq!(
+        diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+        vec![6, 9, 12],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn l2_clean_fixture_is_silent_under_every_lint() {
+    let diags = lint_fixture("l2_clean.rs", all_scopes());
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn l2_markers_suppress_by_id_and_by_name() {
+    let diags = lint_fixture("l2_suppressed.rs", only(|s| s.float_cmp = true));
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].line, 16, "only the unmarked comparison remains");
+}
+
+#[test]
+fn l3_flags_untyped_error_slots() {
+    let diags = lint_fixture("l3_violations.rs", only(|s| s.typed_error = true));
+    assert_eq!(diags.len(), 3, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.lint == "L3"), "{diags:#?}");
+    assert_eq!(
+        diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+        vec![4, 8, 12],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn l3_clean_fixture_is_silent_under_every_lint() {
+    let diags = lint_fixture("l3_clean.rs", all_scopes());
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn l4_flags_unmarked_float_to_int_casts() {
+    let diags = lint_fixture("l4_violations.rs", only(|s| s.hot_path = true));
+    assert_eq!(diags.len(), 2, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.lint == "L4"), "{diags:#?}");
+    assert_eq!(
+        diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+        vec![4, 8],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn l4_clean_fixture_is_silent_under_every_lint() {
+    let diags = lint_fixture("l4_clean.rs", all_scopes());
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn allowlist_budget_absorbs_fixture_violations_exactly() {
+    let diags = lint_fixture("l1_violations.rs", only(|s| s.lib_crate = true));
+    let allow = |count| Config {
+        allowances: vec![Allowance {
+            path: "l1_violations.rs".into(),
+            lint: "L1".into(),
+            count,
+            reason: "fixture".into(),
+        }],
+        ..Config::default()
+    };
+
+    let report = alint::apply_allowlist(diags.clone(), &allow(5), 1);
+    assert!(report.is_clean(), "{:#?}", report.violations);
+    assert_eq!(report.grandfathered.len(), 5);
+
+    // One site fewer in the budget: exactly one (the last) escapes.
+    let report = alint::apply_allowlist(diags, &allow(4), 1);
+    assert_eq!(report.violations.len(), 1, "{:#?}", report.violations);
+    assert_eq!(report.grandfathered.len(), 4);
+}
+
+/// End-to-end CLI checks against a scratch workspace: a violation makes
+/// `alint check` exit 1, an allowlist entry brings it back to 0.
+#[test]
+fn cli_exits_nonzero_on_violation_and_zero_when_allowlisted() {
+    let root = scratch_workspace("cli_exit");
+    let src_dir = root.join("crates/demo/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn boom(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n",
+    )
+    .expect("write fixture source");
+    let scope = "lib_crates = [\"crates/demo\"]\nscan_roots = [\"crates\"]\n";
+    std::fs::write(root.join("alint.toml"), scope).expect("write config");
+
+    let run = |root: &Path| {
+        std::process::Command::new(env!("CARGO_BIN_EXE_alint"))
+            .args(["check", "--root"])
+            .arg(root)
+            .output()
+            .expect("run alint")
+    };
+
+    let out = run(&root);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/demo/src/lib.rs:2: L1(panic_site)"),
+        "{stdout}"
+    );
+
+    let allow = format!(
+        "{scope}\n[[allow]]\npath = \"crates/demo/src/lib.rs\"\nlint = \"L1\"\n\
+         count = 1\nreason = \"fixture\"\n"
+    );
+    std::fs::write(root.join("alint.toml"), allow).expect("rewrite config");
+    let out = run(&root);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Unique-per-test scratch directory under the target temp dir.
+fn scratch_workspace(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("alint-fixture-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    std::fs::create_dir_all(&root).expect("mkdir scratch root");
+    root
+}

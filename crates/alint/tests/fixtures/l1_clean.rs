@@ -1,0 +1,25 @@
+//! Fixture: the panic-free counterpart of `l1_violations.rs` — every
+//! failure propagates through a typed Result.
+
+use std::collections::BTreeMap;
+
+#[derive(Debug)]
+pub enum FixtureError {
+    Missing,
+    BadKind(u8),
+}
+
+pub fn config_value(map: &BTreeMap<String, f64>) -> Result<f64, FixtureError> {
+    map.get("key").copied().ok_or(FixtureError::Missing)
+}
+
+pub fn read_entry(opt: Option<f64>) -> Result<f64, FixtureError> {
+    opt.ok_or(FixtureError::Missing)
+}
+
+pub fn reject(kind: u8) -> Result<f64, FixtureError> {
+    match kind {
+        0 => Ok(0.0),
+        other => Err(FixtureError::BadKind(other)),
+    }
+}

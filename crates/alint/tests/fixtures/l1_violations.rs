@@ -1,0 +1,34 @@
+//! Fixture: five L1 panic sites in library code, plus a test module whose
+//! unwraps must NOT be reported.
+
+use std::collections::BTreeMap;
+
+pub fn config_value(map: &BTreeMap<String, f64>) -> f64 {
+    *map.get("key").unwrap()
+}
+
+pub fn read_entry(opt: Option<f64>) -> f64 {
+    opt.expect("entry must exist")
+}
+
+pub fn reject(kind: u8) -> f64 {
+    match kind {
+        0 => 0.0,
+        1 => todo!(),
+        2 => unimplemented!(),
+        _ => panic!("bad kind {kind}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_in_tests_are_exempt() {
+        let v: Option<u8> = Some(3);
+        v.unwrap();
+        v.expect("fine here");
+        if v.is_none() {
+            panic!("also fine");
+        }
+    }
+}

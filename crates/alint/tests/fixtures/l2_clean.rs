@@ -1,0 +1,16 @@
+//! Fixture: the same logic as `l2_violations.rs` written with epsilon
+//! comparisons and total ordering — nothing to report.
+
+pub fn checks(x: f64, y: f64) -> u32 {
+    let mut hits = 0;
+    if (x - 0.0).abs() < 1e-12 {
+        hits += 1;
+    }
+    if y.is_finite() {
+        hits += 1;
+    }
+    if x.total_cmp(&y) == std::cmp::Ordering::Equal {
+        hits += 1;
+    }
+    hits
+}

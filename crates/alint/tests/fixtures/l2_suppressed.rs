@@ -1,0 +1,17 @@
+//! Fixture: suppression markers. The first two comparisons carry
+//! `alint: allow` markers (by ID on the line above, by name on the same
+//! line); only the third is reported.
+
+pub fn is_zero(a: f64) -> bool {
+    // Exact zero is the sparsity sentinel here.
+    // alint: allow(L2)
+    a == 0.0
+}
+
+pub fn is_one(a: f64) -> bool {
+    a == 1.0 // alint: allow(float_cmp)
+}
+
+pub fn is_two(a: f64) -> bool {
+    a == 2.0
+}

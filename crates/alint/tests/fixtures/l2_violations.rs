@@ -1,0 +1,16 @@
+//! Fixture: three bare float comparisons, each flagged by different
+//! "manifestly float" evidence (literal, f64 path, float method).
+
+pub fn checks(x: f64, y: f64) -> u32 {
+    let mut hits = 0;
+    if x == 0.0 {
+        hits += 1;
+    }
+    if y != f64::INFINITY {
+        hits += 1;
+    }
+    if x.sqrt() == y {
+        hits += 1;
+    }
+    hits
+}

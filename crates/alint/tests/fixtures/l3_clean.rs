@@ -1,0 +1,25 @@
+//! Fixture: typed-error counterpart — the crate error type, the crate's
+//! single-argument Result alias, and non-public functions are all fine.
+
+#[derive(Debug)]
+pub enum FixtureError {
+    Bad,
+}
+
+pub type Result<T, E = FixtureError> = std::result::Result<T, E>;
+
+pub fn load() -> Result<f64, FixtureError> {
+    Ok(1.0)
+}
+
+pub fn alias() -> Result<u32> {
+    Ok(3)
+}
+
+pub(crate) fn internal() -> std::result::Result<u32, String> {
+    Ok(3)
+}
+
+fn private() -> std::result::Result<u32, String> {
+    Ok(3)
+}

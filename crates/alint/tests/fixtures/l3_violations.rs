@@ -1,0 +1,14 @@
+//! Fixture: three public Result signatures with untyped error slots
+//! (type-erased box, String, &str).
+
+pub fn load() -> Result<f64, Box<dyn std::error::Error>> {
+    Ok(1.0)
+}
+
+pub fn parse_header(s: &str) -> Result<u32, String> {
+    Err(s.to_string())
+}
+
+pub const fn flag() -> Result<(), &'static str> {
+    Err("nope")
+}

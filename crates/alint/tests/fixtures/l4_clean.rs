@@ -1,0 +1,15 @@
+//! Fixture: casts that are fine in a hot path — int→int, float→float,
+//! and an intentional truncation carrying the marker.
+
+pub fn widen(n: u32) -> usize {
+    n as usize
+}
+
+pub fn promote(x: f32) -> f64 {
+    x as f64
+}
+
+pub fn cell_index(x: f64) -> usize {
+    // alint: allow(L4)
+    x.trunc() as usize
+}

@@ -1,0 +1,9 @@
+//! Fixture: two unmarked float→int casts in a hot-path module.
+
+pub fn bucket(x: f64) -> usize {
+    (x * 8.0).floor() as usize
+}
+
+pub fn quantize(x: f64) -> i64 {
+    x.round() as i64
+}

@@ -1,0 +1,53 @@
+//! Error type for the AMR forest and solver.
+
+use crate::tree::PatchKey;
+use std::fmt;
+
+/// Broken structural invariants surfaced by forest operations.
+///
+/// These conditions mean the 2:1-balanced quadtree has lost a leaf or a
+/// flux register it was guaranteed to have — a logic error in regridding
+/// or balance enforcement. They are reported as typed errors rather than
+/// panics so a long parameter sweep can record the failed configuration
+/// and continue with the remaining jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AmrError {
+    /// A leaf patch expected at `key` was absent from the forest.
+    MissingLeaf(PatchKey),
+    /// A fine-level flux register expected at `key` was absent during
+    /// refluxing, violating the 2:1 balance guarantee.
+    MissingFluxRegister(PatchKey),
+}
+
+impl fmt::Display for AmrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmrError::MissingLeaf((l, i, j)) => {
+                write!(
+                    f,
+                    "forest invariant broken: no leaf at level {l}, patch ({i}, {j})"
+                )
+            }
+            AmrError::MissingFluxRegister((l, i, j)) => write!(
+                f,
+                "reflux invariant broken: no flux register at level {l}, patch ({i}, {j})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AmrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_patch() {
+        let e = AmrError::MissingLeaf((2, 3, 4));
+        assert!(e.to_string().contains("level 2"));
+        assert!(e.to_string().contains("(3, 4)"));
+        let e = AmrError::MissingFluxRegister((1, 0, 0));
+        assert!(e.to_string().contains("flux register"));
+    }
+}

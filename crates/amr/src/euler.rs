@@ -106,19 +106,14 @@ pub fn hllc_flux(ql: &State, qr: &State) -> State {
     }
 
     // Contact (middle) wave speed.
-    let sm = (pr - pl + rl * ul * (sl - ul) - rr * ur * (sr - ur))
-        / (rl * (sl - ul) - rr * (sr - ur));
+    let sm =
+        (pr - pl + rl * ul * (sl - ul) - rr * ur * (sr - ur)) / (rl * (sl - ul) - rr * (sr - ur));
 
     let star = |q: &State, s: f64, u: f64, p: f64| -> State {
         let r = q[0];
         let factor = r * (s - u) / (s - sm);
         let e_star = q[3] / r + (sm - u) * (sm + p / (r * (s - u)));
-        [
-            factor,
-            factor * sm,
-            factor * (q[2] / r),
-            factor * e_star,
-        ]
+        [factor, factor * sm, factor * (q[2] / r), factor * e_star]
     };
 
     if sm >= 0.0 {

@@ -75,8 +75,7 @@ impl ExactRiemann {
     pub fn solve(left: Primitive1d, right: Primitive1d) -> Self {
         let du = right.u - left.u;
         // Vacuum check (Toro Eq. 4.40).
-        let critical =
-            2.0 * (left.sound_speed() + right.sound_speed()) / (GAMMA - 1.0);
+        let critical = 2.0 * (left.sound_speed() + right.sound_speed()) / (GAMMA - 1.0);
         assert!(du < critical, "initial states generate vacuum");
 
         // Initial guess: two-rarefaction approximation (robust everywhere).
@@ -130,9 +129,9 @@ impl ExactRiemann {
             // Left shock.
             let ratio = self.p_star / l.p;
             let g = (GAMMA - 1.0) / (GAMMA + 1.0);
-            let s = l.u - cl * ((GAMMA + 1.0) / (2.0 * GAMMA) * ratio
-                + (GAMMA - 1.0) / (2.0 * GAMMA))
-                .sqrt();
+            let s = l.u
+                - cl * ((GAMMA + 1.0) / (2.0 * GAMMA) * ratio + (GAMMA - 1.0) / (2.0 * GAMMA))
+                    .sqrt();
             if xi < s {
                 l
             } else {
@@ -177,9 +176,9 @@ impl ExactRiemann {
             // Right shock.
             let ratio = self.p_star / r.p;
             let g = (GAMMA - 1.0) / (GAMMA + 1.0);
-            let s = r.u + cr * ((GAMMA + 1.0) / (2.0 * GAMMA) * ratio
-                + (GAMMA - 1.0) / (2.0 * GAMMA))
-                .sqrt();
+            let s = r.u
+                + cr * ((GAMMA + 1.0) / (2.0 * GAMMA) * ratio + (GAMMA - 1.0) / (2.0 * GAMMA))
+                    .sqrt();
             if xi > s {
                 r
             } else {

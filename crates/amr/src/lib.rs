@@ -1,3 +1,6 @@
+// Tests compare exactly-copied floats; the cfg(test) compile allows that
+// while the regular compile still lints library code.
+#![cfg_attr(test, allow(clippy::float_cmp))]
 #![warn(missing_docs)]
 
 //! Block-structured adaptive mesh refinement (AMR) substrate.
@@ -18,6 +21,7 @@
 //! See `DESIGN.md` §1 for why this substitution preserves the behaviour the
 //! active-learning layer depends on.
 
+pub mod error;
 pub mod euler;
 pub mod exact_riemann;
 pub mod machine;
@@ -30,6 +34,7 @@ pub mod solver;
 pub mod tree;
 pub mod viz;
 
+pub use error::AmrError;
 pub use machine::{MachineModel, MachineOutcome};
 pub use runner::{run_simulation, SimulationOutcome};
 pub use shockbubble::SimulationConfig;

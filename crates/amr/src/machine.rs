@@ -96,13 +96,15 @@ impl MachineModel {
         let node_seconds =
             stats.cell_updates as f64 * self.cell_update_us * 1e-6 * self.full_sim_scale
                 / self.cores_per_node;
-        let compute =
-            node_seconds * ((1.0 - self.serial_fraction) / p_f + self.serial_fraction);
+        let compute = node_seconds * ((1.0 - self.serial_fraction) / p_f + self.serial_fraction);
 
         // Communication: per-step latency grows logarithmically with the
         // node count (tree reductions for dt and regrid consensus);
         // ghost-volume bandwidth parallelizes across nodes.
-        let latency = stats.steps as f64 * self.full_sim_scale * self.step_latency_us * 1e-6
+        let latency = stats.steps as f64
+            * self.full_sim_scale
+            * self.step_latency_us
+            * 1e-6
             * (p_f + 1.0).ln();
         let bandwidth =
             stats.ghost_cells as f64 * self.full_sim_scale * self.ghost_cell_ns * 1e-9 / p_f;

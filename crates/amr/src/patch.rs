@@ -60,7 +60,10 @@ impl Patch {
     /// Panics if `(i, j)` lies outside the `2^level × 2^level` patch grid.
     pub fn new(level: u8, i: u32, j: u32, mx: usize) -> Self {
         let n_side = 1u32 << level;
-        assert!(i < n_side && j < n_side, "patch ({i},{j}) outside level {level}");
+        assert!(
+            i < n_side && j < n_side,
+            "patch ({i},{j}) outside level {level}"
+        );
         assert!(mx >= 4, "mx must be at least 4 for the MUSCL stencil");
         let h = DOMAIN / (n_side as f64 * mx as f64);
         Patch {
@@ -246,7 +249,13 @@ impl Patch {
             for ix in 0..n {
                 scratch.line[ix] = *self.get(ix, iy);
             }
-            Self::sweep_line(&mut scratch.line, &mut scratch.slope, &mut scratch.flux, lambda, self.mx);
+            Self::sweep_line(
+                &mut scratch.line,
+                &mut scratch.slope,
+                &mut scratch.flux,
+                lambda,
+                self.mx,
+            );
             for cx in 0..self.mx {
                 *self.get_mut(NG + cx, iy) = scratch.line[NG + cx];
             }
@@ -273,14 +282,18 @@ impl Patch {
             for iy in 0..n {
                 scratch.line[iy] = euler::transpose_state(self.get(ix, iy));
             }
-            Self::sweep_line(&mut scratch.line, &mut scratch.slope, &mut scratch.flux, lambda, self.mx);
+            Self::sweep_line(
+                &mut scratch.line,
+                &mut scratch.slope,
+                &mut scratch.flux,
+                lambda,
+                self.mx,
+            );
             for cy in 0..self.mx {
                 *self.get_mut(ix, NG + cy) = euler::transpose_state(&scratch.line[NG + cy]);
             }
             // Un-transpose the recorded fluxes back to (ρ, ρu, ρv, E).
-            registers
-                .lo
-                .push(euler::transpose_state(&scratch.flux[0]));
+            registers.lo.push(euler::transpose_state(&scratch.flux[0]));
             registers
                 .hi
                 .push(euler::transpose_state(&scratch.flux[self.mx]));
@@ -329,15 +342,13 @@ impl Patch {
         slope[n - 1] = [0.0; NVAR];
         for i in 1..n - 1 {
             for k in 0..NVAR {
-                slope[i][k] = euler::minmod(
-                    line[i][k] - line[i - 1][k],
-                    line[i + 1][k] - line[i][k],
-                );
+                slope[i][k] =
+                    euler::minmod(line[i][k] - line[i - 1][k], line[i + 1][k] - line[i][k]);
             }
         }
         // Interface fluxes: face f sits between cells NG-1+f and NG+f for
         // f in 0..=mx.
-        for f in 0..=mx {
+        for (f, face) in flux.iter_mut().enumerate().take(mx + 1) {
             let li = NG - 1 + f;
             let ri = NG + f;
             let mut ql = [0.0; NVAR];
@@ -346,7 +357,7 @@ impl Patch {
                 ql[k] = line[li][k] + 0.5 * slope[li][k];
                 qr[k] = line[ri][k] - 0.5 * slope[ri][k];
             }
-            flux[f] = euler::hllc_flux(&ql, &qr);
+            *face = euler::hllc_flux(&ql, &qr);
         }
         // Conservative update of the interior cells.
         for c in 0..mx {
@@ -576,9 +587,7 @@ mod tests {
         assert!(smooth.refinement_indicator() < 1e-12);
 
         let mut jumpy = Patch::new(0, 0, 0, 8);
-        jumpy.fill_with(&|x, _y| {
-            conservative(if x < 0.5 { 1.0 } else { 2.0 }, 0.0, 0.0, 1.0)
-        });
+        jumpy.fill_with(&|x, _y| conservative(if x < 0.5 { 1.0 } else { 2.0 }, 0.0, 0.0, 1.0));
         assert!(jumpy.refinement_indicator() > 0.5);
     }
 

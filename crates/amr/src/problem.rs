@@ -115,7 +115,10 @@ mod tests {
         for (x, y) in [(0.1, 0.5), (0.45, 0.5), (0.9, 0.9)] {
             assert_eq!(problem.initial_state(x, y), direct(x, y));
         }
-        assert!(matches!(problem.boundary_conditions().west, BcKind::Inflow(_)));
+        assert!(matches!(
+            problem.boundary_conditions().west,
+            BcKind::Inflow(_)
+        ));
     }
 
     #[test]
@@ -128,7 +131,10 @@ mod tests {
         assert!((pressure(&ambient) - 1.0).abs() < 1e-12);
         // Uniform unit density everywhere.
         assert!((center[0] - 1.0).abs() < 1e-12);
-        assert!(matches!(blast.boundary_conditions().west, BcKind::Extrapolate));
+        assert!(matches!(
+            blast.boundary_conditions().west,
+            BcKind::Extrapolate
+        ));
     }
 
     #[test]

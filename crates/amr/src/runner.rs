@@ -2,6 +2,7 @@
 //! responses. This is the "one job on the supercomputer" primitive that
 //! both the offline dataset generator and the online AL example call.
 
+use crate::error::AmrError;
 use crate::machine::{MachineModel, MachineOutcome};
 use crate::shockbubble::SimulationConfig;
 use crate::solver::{AmrSolver, SolverProfile, WorkStats};
@@ -33,7 +34,8 @@ pub struct SimulationOutcome {
 /// use al_amr_sim::{run_simulation, MachineModel, SimulationConfig, SolverProfile};
 ///
 /// let config = SimulationConfig { p: 8, mx: 8, maxlevel: 3, r0: 0.3, rhoin: 0.1 };
-/// let outcome = run_simulation(&config, SolverProfile::smoke(), &MachineModel::default(), 0);
+/// let outcome = run_simulation(&config, SolverProfile::smoke(), &MachineModel::default(), 0)
+///     .expect("simulation");
 /// assert!(outcome.cost_node_hours > 0.0);
 /// assert!(outcome.memory_mb > 0.0);
 /// // Cost is exactly wall-clock × nodes (in hours).
@@ -45,9 +47,9 @@ pub fn run_simulation(
     profile: SolverProfile,
     machine: &MachineModel,
     repeat: u32,
-) -> SimulationOutcome {
+) -> Result<SimulationOutcome, AmrError> {
     let mut solver = AmrSolver::new(config, profile);
-    let work = solver.run();
+    let work = solver.run()?;
     let seed = config
         .stable_hash()
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -57,13 +59,13 @@ pub fn run_simulation(
         cost_node_hours,
         memory_mb,
     } = machine.evaluate(&work, config.p, seed);
-    SimulationOutcome {
+    Ok(SimulationOutcome {
         config: *config,
         wall_seconds,
         cost_node_hours,
         memory_mb,
         work,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -83,10 +85,10 @@ mod tests {
     #[test]
     fn outcome_is_deterministic_per_repeat() {
         let m = MachineModel::default();
-        let a = run_simulation(&config(), SolverProfile::smoke(), &m, 0);
-        let b = run_simulation(&config(), SolverProfile::smoke(), &m, 0);
+        let a = run_simulation(&config(), SolverProfile::smoke(), &m, 0).unwrap();
+        let b = run_simulation(&config(), SolverProfile::smoke(), &m, 0).unwrap();
         assert_eq!(a, b);
-        let c = run_simulation(&config(), SolverProfile::smoke(), &m, 1);
+        let c = run_simulation(&config(), SolverProfile::smoke(), &m, 1).unwrap();
         assert_ne!(a.cost_node_hours, c.cost_node_hours, "repeats differ");
         // But the underlying work is identical — only the noise changes.
         assert_eq!(a.work, c.work);
@@ -95,18 +97,16 @@ mod tests {
     #[test]
     fn responses_are_positive_and_consistent() {
         let m = MachineModel::default();
-        let o = run_simulation(&config(), SolverProfile::smoke(), &m, 0);
+        let o = run_simulation(&config(), SolverProfile::smoke(), &m, 0).unwrap();
         assert!(o.wall_seconds > 0.0);
         assert!(o.memory_mb > 0.0);
-        assert!(
-            (o.cost_node_hours - o.wall_seconds * o.config.p as f64 / 3600.0).abs() < 1e-12
-        );
+        assert!((o.cost_node_hours - o.wall_seconds * o.config.p as f64 / 3600.0).abs() < 1e-12);
     }
 
     #[test]
     fn deeper_refinement_is_more_expensive() {
         let m = MachineModel::default();
-        let shallow = run_simulation(&config(), SolverProfile::smoke(), &m, 0);
+        let shallow = run_simulation(&config(), SolverProfile::smoke(), &m, 0).unwrap();
         let deep = run_simulation(
             &SimulationConfig {
                 maxlevel: 5,
@@ -115,7 +115,8 @@ mod tests {
             SolverProfile::smoke(),
             &m,
             0,
-        );
+        )
+        .unwrap();
         assert!(deep.cost_node_hours > 3.0 * shallow.cost_node_hours);
         assert!(deep.memory_mb > shallow.memory_mb);
     }

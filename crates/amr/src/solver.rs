@@ -8,6 +8,7 @@
 //! memory is counted here: cell updates, ghost-exchange volume, regrids and
 //! the peak number of resident cells.
 
+use crate::error::AmrError;
 use crate::patch::SweepScratch;
 use crate::refine::RefinementCriteria;
 use crate::shockbubble::SimulationConfig;
@@ -139,9 +140,11 @@ impl AmrSolver {
             profile.criteria.refine_threshold,
         );
         let bc = problem.boundary_conditions();
-        let mut stats = WorkStats::default();
-        stats.peak_storage_cells = forest.total_storage_cells();
-        stats.peak_leaves = forest.n_leaves() as u64;
+        let stats = WorkStats {
+            peak_storage_cells: forest.total_storage_cells(),
+            peak_leaves: forest.n_leaves() as u64,
+            ..WorkStats::default()
+        };
 
         AmrSolver {
             forest,
@@ -170,23 +173,24 @@ impl AmrSolver {
 
     /// Advance one global time step (ghost fill → x sweep → ghost fill →
     /// y sweep, alternating the sweep order every step for second-order
-    /// splitting symmetry). Returns the `dt` taken.
-    pub fn step(&mut self) -> f64 {
+    /// splitting symmetry). Returns the `dt` taken, or [`AmrError`] if the
+    /// forest's structural invariants are broken.
+    pub fn step(&mut self) -> Result<f64, AmrError> {
         let mut dt = self.forest.cfl_dt(self.profile.cfl);
         // Do not overshoot the end time.
         if self.time + dt > self.profile.t_final {
             dt = self.profile.t_final - self.time;
         }
 
-        let x_first = self.stats.steps % 2 == 0;
+        let x_first = self.stats.steps.is_multiple_of(2);
         for half in 0..2 {
-            let ex = self.forest.fill_ghosts(&self.bc);
+            let ex = self.forest.fill_ghosts(&self.bc)?;
             self.stats.ghost_cells += ex.exchanged();
             self.stats.boundary_cells += ex.boundary_cells;
             let sweep_x = (half == 0) == x_first;
             let mut registers = std::collections::BTreeMap::new();
             for key in self.forest.leaf_keys() {
-                let patch = self.forest.get_mut(key).expect("key from snapshot");
+                let patch = self.forest.get_mut(key).ok_or(AmrError::MissingLeaf(key))?;
                 let fluxes = if sweep_x {
                     patch.sweep_x(dt, &mut self.scratch)
                 } else {
@@ -198,7 +202,7 @@ impl AmrSolver {
             }
             if self.profile.reflux {
                 let axis = if sweep_x { Axis::X } else { Axis::Y };
-                self.stats.reflux_faces += self.forest.reflux(axis, &registers, dt);
+                self.stats.reflux_faces += self.forest.reflux(axis, &registers, dt)?;
             }
             self.stats.cell_updates += self.forest.total_interior_cells();
         }
@@ -207,7 +211,11 @@ impl AmrSolver {
         self.stats.steps += 1;
         self.stats.final_time = self.time;
 
-        if self.stats.steps % self.profile.regrid_interval == 0 {
+        if self
+            .stats
+            .steps
+            .is_multiple_of(self.profile.regrid_interval)
+        {
             let changes = self.forest.regrid(
                 self.profile.criteria.refine_threshold,
                 self.profile.criteria.coarsen_threshold,
@@ -220,18 +228,18 @@ impl AmrSolver {
                 .max(self.forest.total_storage_cells());
             self.stats.peak_leaves = self.stats.peak_leaves.max(self.forest.n_leaves() as u64);
         }
-        dt
+        Ok(dt)
     }
 
     /// Run until `t_final` (or the step cap). Returns the final counters.
-    pub fn run(&mut self) -> WorkStats {
+    pub fn run(&mut self) -> Result<WorkStats, AmrError> {
         while self.time < self.profile.t_final && self.stats.steps < self.profile.max_steps {
-            let dt = self.step();
+            let dt = self.step()?;
             if dt <= 0.0 || !dt.is_finite() {
                 break;
             }
         }
-        self.stats
+        Ok(self.stats)
     }
 }
 
@@ -268,7 +276,7 @@ mod tests {
     #[test]
     fn step_advances_time_and_counts_work() {
         let mut solver = AmrSolver::new(&tiny_config(), SolverProfile::smoke());
-        let dt = solver.step();
+        let dt = solver.step().expect("step");
         assert!(dt > 0.0);
         let s = solver.stats();
         assert_eq!(s.steps, 1);
@@ -280,7 +288,7 @@ mod tests {
     #[test]
     fn run_reaches_t_final() {
         let mut solver = AmrSolver::new(&tiny_config(), SolverProfile::smoke());
-        let stats = solver.run();
+        let stats = solver.run().expect("run");
         assert!((stats.final_time - SolverProfile::smoke().t_final).abs() < 1e-12);
         assert!(stats.steps >= 1);
         assert!(stats.regrid_count > 0 || stats.steps < 4);
@@ -289,7 +297,7 @@ mod tests {
     #[test]
     fn solution_stays_physical() {
         let mut solver = AmrSolver::new(&tiny_config(), SolverProfile::smoke());
-        solver.run();
+        solver.run().expect("run");
         for (_, patch) in solver.forest().iter() {
             for cy in 0..patch.mx() {
                 for cx in 0..patch.mx() {
@@ -321,8 +329,8 @@ mod tests {
             },
             SolverProfile::smoke(),
         );
-        let ws = shallow.run();
-        let wd = deep.run();
+        let ws = shallow.run().expect("run");
+        let wd = deep.run().expect("run");
         assert!(
             wd.cell_updates > 2 * ws.cell_updates,
             "deep {} vs shallow {}",
@@ -365,7 +373,7 @@ mod tests {
     fn peak_counters_never_decrease() {
         let mut solver = AmrSolver::new(&tiny_config(), SolverProfile::smoke());
         let initial_peak = solver.stats().peak_storage_cells;
-        solver.run();
+        solver.run().expect("run");
         assert!(solver.stats().peak_storage_cells >= initial_peak);
         assert!(solver.stats().peak_leaves >= 1);
     }

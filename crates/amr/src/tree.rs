@@ -6,6 +6,7 @@
 //! order — and therefore every floating-point reduction — is deterministic
 //! across runs, which the reproducibility of dataset generation relies on.
 
+use crate::error::AmrError;
 use crate::euler::{self, State, NVAR};
 use crate::patch::{BoundaryFluxes, Patch, Side, DOMAIN, NG};
 use std::collections::BTreeMap;
@@ -191,10 +192,7 @@ impl Forest {
 
     /// Total stored cells including ghost layers (memory footprint proxy).
     pub fn total_storage_cells(&self) -> u64 {
-        self.leaves
-            .values()
-            .map(|p| p.storage_cells() as u64)
-            .sum()
+        self.leaves.values().map(|p| p.storage_cells() as u64).sum()
     }
 
     /// Leaf counts per level, indexed `0..=maxlevel`.
@@ -243,18 +241,24 @@ impl Forest {
     /// piecewise-constant prolongation, fine→coarse restriction, and the
     /// physical boundary conditions `bc` at domain edges.
     ///
-    /// Returns communication-volume statistics for the machine model.
-    pub fn fill_ghosts(&mut self, bc: &Bc) -> ExchangeStats {
+    /// Returns communication-volume statistics for the machine model, or
+    /// [`AmrError`] if a leaf guaranteed by 2:1 balance is missing.
+    pub fn fill_ghosts(&mut self, bc: &Bc) -> Result<ExchangeStats, AmrError> {
         let mut stats = ExchangeStats::default();
         for key in self.leaf_keys() {
             // Take the patch out so we can read neighbours immutably.
-            let mut patch = self.leaves.remove(&key).expect("key from snapshot");
+            let mut patch = self.leaves.remove(&key).ok_or(AmrError::MissingLeaf(key))?;
             for side in Side::ALL {
-                self.fill_side(&mut patch, key, side, bc, &mut stats);
+                if let Err(e) = self.fill_side(&mut patch, key, side, bc, &mut stats) {
+                    // Put the patch back so the forest stays structurally
+                    // intact for post-mortem inspection.
+                    self.leaves.insert(key, patch);
+                    return Err(e);
+                }
             }
             self.leaves.insert(key, patch);
         }
-        stats
+        Ok(stats)
     }
 
     fn fill_side(
@@ -264,7 +268,7 @@ impl Forest {
         side: Side,
         bc: &Bc,
         stats: &mut ExchangeStats,
-    ) {
+    ) -> Result<(), AmrError> {
         let (level, i, j) = key;
         let n_side = 1i64 << level;
         let (di, dj) = side.offset();
@@ -277,14 +281,14 @@ impl Forest {
                 BcKind::Inflow(state) => patch.set_boundary(side, state),
             }
             stats.boundary_cells += band;
-            return;
+            return Ok(());
         }
         let nk = (level, ni as u32, nj as u32);
 
         if let Some(nb) = self.leaves.get(&nk) {
             Self::copy_same_level(patch, nb, side, self.mx);
             stats.same_level_cells += band;
-            return;
+            return Ok(());
         }
         // Coarser neighbour: the parent of the would-be same-level
         // neighbour (2:1 balance guarantees at most one level difference).
@@ -293,13 +297,14 @@ impl Forest {
             if let Some(nb) = self.leaves.get(&parent) {
                 self.prolong_from_coarse(patch, key, nb, side);
                 stats.prolonged_cells += band;
-                return;
+                return Ok(());
             }
         }
         // Finer neighbours: the two children of the would-be neighbour
         // that touch this face.
-        self.restrict_from_fine(patch, key, side);
+        self.restrict_from_fine(patch, key, side)?;
         stats.restricted_cells += band;
+        Ok(())
     }
 
     /// Same-level exchange: copy the neighbour's interior cells adjacent to
@@ -361,7 +366,12 @@ impl Forest {
 
     /// Fine→coarse ghost fill: average the 2×2 fine cells under each coarse
     /// ghost cell, reading from whichever fine leaf holds them.
-    fn restrict_from_fine(&self, patch: &mut Patch, key: PatchKey, side: Side) {
+    fn restrict_from_fine(
+        &self,
+        patch: &mut Patch,
+        key: PatchKey,
+        side: Side,
+    ) -> Result<(), AmrError> {
         let (xr, yr) = self.ghost_band(side);
         let fine_level = key.0 + 1;
         debug_assert!(fine_level <= self.maxlevel);
@@ -374,10 +384,12 @@ impl Forest {
                     let fy = gy * 2 + oy;
                     let pi = (fx.div_euclid(self.mx as i64)) as u32;
                     let pj = (fy.div_euclid(self.mx as i64)) as u32;
+                    let fine_key = (fine_level, pi, pj);
+                    // 2:1 balance guarantees the fine neighbour leaves exist.
                     let leaf = self
                         .leaves
-                        .get(&(fine_level, pi, pj))
-                        .expect("2:1 balance guarantees fine neighbour leaves");
+                        .get(&fine_key)
+                        .ok_or(AmrError::MissingLeaf(fine_key))?;
                     let cx = (fx - pi as i64 * self.mx as i64) as usize;
                     let cy = (fy - pj as i64 * self.mx as i64) as usize;
                     let s = leaf.interior(cx, cy);
@@ -388,6 +400,7 @@ impl Forest {
                 *patch.get_mut(ix, iy) = acc;
             }
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -402,13 +415,15 @@ impl Forest {
     /// global time step — no time interpolation needed).
     ///
     /// `registers` must hold the [`BoundaryFluxes`] every leaf returned
-    /// from this sweep. Returns the number of corrected coarse faces.
+    /// from this sweep — a missing register is reported as
+    /// [`AmrError::MissingFluxRegister`]. Returns the number of corrected
+    /// coarse faces.
     pub fn reflux(
         &mut self,
         axis: Axis,
         registers: &BTreeMap<PatchKey, BoundaryFluxes>,
         dt: f64,
-    ) -> u64 {
+    ) -> Result<u64, AmrError> {
         let sides: [Side; 2] = match axis {
             Axis::X => [Side::West, Side::East],
             Axis::Y => [Side::South, Side::North],
@@ -421,9 +436,10 @@ impl Forest {
                 if self.neighbor_level(key, side) != Some(level + 1) {
                     continue;
                 }
+                // The sweep produced registers for every leaf.
                 let own = registers
                     .get(&key)
-                    .expect("sweep produced registers for every leaf");
+                    .ok_or(AmrError::MissingFluxRegister(key))?;
                 for t in 0..mx {
                     // The two fine faces under coarse transverse index `t`.
                     let mut correct = [0.0; NVAR];
@@ -443,9 +459,10 @@ impl Forest {
                             Side::North => (level + 1, fine_patch_t, 2 * (j + 1)),
                             Side::South => (level + 1, fine_patch_t, 2 * j - 1),
                         };
+                        // 2:1 balance guarantees the fine registers exist.
                         let fine = registers
                             .get(&fine_key)
-                            .expect("2:1 balance guarantees fine registers");
+                            .ok_or(AmrError::MissingFluxRegister(fine_key))?;
                         // The fine face opposite our side.
                         let flux = match side {
                             Side::East | Side::North => &fine.lo[local],
@@ -465,13 +482,16 @@ impl Forest {
                         Side::North => (t, mx - 1),
                         Side::South => (t, 0),
                     };
-                    let patch = self.leaves.get_mut(&key).expect("leaf exists");
+                    let patch = self
+                        .leaves
+                        .get_mut(&key)
+                        .ok_or(AmrError::MissingLeaf(key))?;
                     patch.apply_flux_correction(side, cx, cy, &used, &correct, dt);
                     corrected += 1;
                 }
             }
         }
-        corrected
+        Ok(corrected)
     }
 
     // ------------------------------------------------------------------
@@ -521,8 +541,8 @@ impl Forest {
                         } else {
                             0.0
                         };
-                        let ox = if fx % 2 == 0 { -0.25 } else { 0.25 };
-                        let oy = if fy % 2 == 0 { -0.25 } else { 0.25 };
+                        let ox = if fx.is_multiple_of(2) { -0.25 } else { 0.25 };
+                        let oy = if fy.is_multiple_of(2) { -0.25 } else { 0.25 };
                         out[k] = q[k] + ox * sx + oy * sy;
                     }
                     *child.interior_mut(cx, cy) = out;
@@ -545,13 +565,23 @@ impl Forest {
             (level + 1, 2 * i, 2 * j + 1),
             (level + 1, 2 * i + 1, 2 * j + 1),
         ];
-        if !child_keys.iter().all(|k| self.leaves.contains_key(k)) {
-            return;
+        // Take all four siblings out up front; if any is missing, put the
+        // others back and bail — coarsening only merges complete quads.
+        let mut children: Vec<(PatchKey, Patch)> = Vec::with_capacity(4);
+        for ck in child_keys {
+            match self.leaves.remove(&ck) {
+                Some(child) => children.push((ck, child)),
+                None => {
+                    for (k, c) in children {
+                        self.leaves.insert(k, c);
+                    }
+                    return;
+                }
+            }
         }
         let mx = self.mx;
         let mut parent = Patch::new(level, i, j, mx);
-        for ck in child_keys {
-            let child = self.leaves.remove(&ck).expect("checked above");
+        for (ck, child) in children {
             let (ci, cj) = (ck.1 - 2 * i, ck.2 - 2 * j);
             for py in 0..mx {
                 for px in 0..mx {
@@ -651,8 +681,7 @@ impl Forest {
                             // Neighbour region is too coarse: refine the
                             // covering coarse leaf.
                             let (di, dj) = side.offset();
-                            let (ni, nj) =
-                                ((key.1 as i64 + di) as u32, (key.2 as i64 + dj) as u32);
+                            let (ni, nj) = ((key.1 as i64 + di) as u32, (key.2 as i64 + dj) as u32);
                             let shift = level - nl;
                             let ck = (nl, ni >> shift, nj >> shift);
                             if !to_refine.contains(&ck) {
@@ -895,7 +924,7 @@ mod tests {
             let marker = 1.0 + (x * 2.0).floor() + 10.0 * (y * 2.0).floor();
             conservative(marker, 0.0, 0.0, 1.0)
         });
-        let stats = f.fill_ghosts(&Bc::all_extrapolate());
+        let stats = f.fill_ghosts(&Bc::all_extrapolate()).expect("fill_ghosts");
         assert!(stats.same_level_cells > 0);
         assert!(stats.boundary_cells > 0);
         assert_eq!(stats.prolonged_cells, 0);
@@ -913,7 +942,7 @@ mod tests {
         let mut f = Forest::uniform(8, 1, 2);
         f.fill_all(&|x, _y| conservative(1.0 + x, 0.0, 0.0, 1.0));
         f.refine_patch((1, 0, 0));
-        let stats = f.fill_ghosts(&Bc::all_extrapolate());
+        let stats = f.fill_ghosts(&Bc::all_extrapolate()).expect("fill_ghosts");
         assert!(stats.prolonged_cells > 0, "fine leaves read coarse data");
         assert!(stats.restricted_cells > 0, "coarse leaves read fine data");
         // The coarse patch (1,1,0)'s west ghosts average fine data whose
@@ -935,7 +964,7 @@ mod tests {
             west: BcKind::Inflow(inflow),
             ..Bc::all_extrapolate()
         };
-        f.fill_ghosts(&bc);
+        f.fill_ghosts(&bc).expect("fill_ghosts");
         let p = f.get((0, 0, 0)).unwrap();
         assert_eq!(p.get(0, NG)[0], 3.0);
         assert_eq!(p.get(1, NG + 3)[0], 3.0);
@@ -1005,7 +1034,7 @@ mod tests {
         let bc = Bc::all_extrapolate();
         let mut scratch = SweepScratch::default();
         for axis in [Axis::X, Axis::Y] {
-            f.fill_ghosts(&bc);
+            f.fill_ghosts(&bc).expect("fill_ghosts");
             let mut registers = BTreeMap::new();
             for key in f.leaf_keys() {
                 let patch = f.get_mut(key).unwrap();
@@ -1016,7 +1045,10 @@ mod tests {
                 registers.insert(key, fluxes);
             }
             if reflux {
-                assert!(f.reflux(axis, &registers, dt) > 0, "interface exists");
+                assert!(
+                    f.reflux(axis, &registers, dt).expect("reflux") > 0,
+                    "interface exists"
+                );
             }
         }
     }
@@ -1074,7 +1106,7 @@ mod tests {
         // (1,0,1) with mx cells.
         let mut f = bump_forest();
         let bc = Bc::all_extrapolate();
-        f.fill_ghosts(&bc);
+        f.fill_ghosts(&bc).expect("fill_ghosts");
         let mut scratch = crate::patch::SweepScratch::default();
         let dt = 1e-4;
         let mut registers = BTreeMap::new();
@@ -1083,7 +1115,7 @@ mod tests {
             registers.insert(key, patch.sweep_x(dt, &mut scratch));
         }
         // X-refluxing corrects the coarse west face of (1,1,0): mx cells.
-        assert_eq!(f.reflux(Axis::X, &registers, dt), 8);
+        assert_eq!(f.reflux(Axis::X, &registers, dt).expect("reflux"), 8);
     }
 
     #[test]

@@ -1,6 +1,17 @@
 //! Shock-tube validation: the 2D MUSCL/HLLC scheme, run on a y-invariant
 //! Sod problem, must converge to the exact Riemann solution.
 
+// Integration tests run outside #[cfg(test)], so the in-tests carve-outs
+// from clippy.toml don't reach them; tests may panic, compare exact copied
+// floats, and index loops for readability.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::needless_range_loop
+)]
+
 use al_amr_sim::euler::conservative;
 use al_amr_sim::exact_riemann::{ExactRiemann, Primitive1d};
 use al_amr_sim::tree::{Bc, Forest};
@@ -26,8 +37,8 @@ fn run_sod(level: u8, mx: usize, t_final: f64) -> (Forest, f64) {
             dt = t_final - t;
         }
         for half in 0..2 {
-            forest.fill_ghosts(&bc);
-            let sweep_x = (half == 0) == (step % 2 == 0);
+            forest.fill_ghosts(&bc).expect("fill_ghosts");
+            let sweep_x = (half == 0) == step.is_multiple_of(2);
             for key in forest.leaf_keys() {
                 let patch = forest.get_mut(key).unwrap();
                 if sweep_x {

@@ -26,21 +26,17 @@ fn bench_strategy_select(c: &mut Criterion) {
     let (mu_cost, sigma_cost, mu_mem, sigma_mem) = synthetic_predictions(400, 1);
     for kind in StrategyKind::paper_five() {
         let strategy = kind.build();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.label()),
-            &kind,
-            |b, _| {
-                let mut rng = StdRng::seed_from_u64(2);
-                let ctx = SelectionContext {
-                    mu_cost: &mu_cost,
-                    sigma_cost: &sigma_cost,
-                    mu_mem: &mu_mem,
-                    sigma_mem: &sigma_mem,
-                    mem_limit_log: Some(1.0),
-                };
-                b.iter(|| black_box(strategy.select(&ctx, &mut rng)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let ctx = SelectionContext {
+                mu_cost: &mu_cost,
+                sigma_cost: &sigma_cost,
+                mu_mem: &mu_mem,
+                sigma_mem: &sigma_mem,
+                mem_limit_log: Some(1.0),
+            };
+            b.iter(|| black_box(strategy.select(&ctx, &mut rng)));
+        });
     }
     group.finish();
 }
@@ -56,8 +52,7 @@ fn synth_dataset(n: usize) -> Dataset {
                 r0: 0.2 + 0.3 * ((i % 7) as f64 / 6.0),
                 rhoin: 0.02 + 0.48 * ((i % 5) as f64 / 4.0),
             };
-            let work = 4f64.powi(config.maxlevel as i32 - 3)
-                * (config.mx as f64 / 8.0).powi(2);
+            let work = 4f64.powi(config.maxlevel as i32 - 3) * (config.mx as f64 / 8.0).powi(2);
             Sample {
                 config,
                 wall_seconds: 10.0 * work,

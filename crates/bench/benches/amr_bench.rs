@@ -13,7 +13,12 @@ use al_amr_sim::{AmrSolver, SimulationConfig, SolverProfile};
 fn filled_patch(mx: usize) -> Patch {
     let mut p = Patch::new(0, 0, 0, mx);
     p.fill_with(&|x, y| {
-        conservative(1.0 + 0.5 * (6.0 * x).sin() * (4.0 * y).cos(), 0.3, -0.1, 1.0)
+        conservative(
+            1.0 + 0.5 * (6.0 * x).sin() * (4.0 * y).cos(),
+            0.3,
+            -0.1,
+            1.0,
+        )
     });
     for side in Side::ALL {
         p.extrapolate_boundary(side);

@@ -76,7 +76,8 @@ fn bench_fit_optimized(c: &mut Criterion) {
         let mut gp = GpModel::new(KernelKind::Rbf.build(0.3), 1e-3);
         let opts = FitOptions::warm_start_only();
         b.iter(|| {
-            gp.fit_optimized(black_box(&x), black_box(&y), &opts).unwrap();
+            gp.fit_optimized(black_box(&x), black_box(&y), &opts)
+                .unwrap();
         });
     });
     group.finish();
@@ -95,7 +96,8 @@ fn bench_augment_vs_refit(c: &mut Criterion) {
         gp.fit(&x, &y).unwrap();
         b.iter(|| {
             let mut m = gp.clone();
-            m.augment(black_box(x_new.row(0)), black_box(y_new[0])).unwrap();
+            m.augment(black_box(x_new.row(0)), black_box(y_new[0]))
+                .unwrap();
             black_box(m.n_train())
         });
     });

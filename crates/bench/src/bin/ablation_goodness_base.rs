@@ -32,8 +32,13 @@ fn main() {
             seed: args.seed,
             ..AlOptions::default()
         };
-        let t = run_trajectory(&dataset, &partition, StrategyKind::RandGoodness { base }, &opts)
-            .expect("trajectory");
+        let t = run_trajectory(
+            &dataset,
+            &partition,
+            StrategyKind::RandGoodness { base },
+            &opts,
+        )
+        .expect("trajectory");
         let costs = t.selected_costs(150);
         let log_costs: Vec<f64> = costs.iter().map(|c| c.log10()).collect();
         println!("base = {base:<8.3}");

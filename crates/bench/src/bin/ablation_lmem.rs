@@ -37,8 +37,13 @@ fn main() {
             seed: args.seed,
             ..AlOptions::default()
         };
-        let t = run_trajectory(&dataset, &partition, StrategyKind::Rgma { base: 10.0 }, &opts)
-            .expect("trajectory");
+        let t = run_trajectory(
+            &dataset,
+            &partition,
+            StrategyKind::Rgma { base: 10.0 },
+            &opts,
+        )
+        .expect("trajectory");
         let stop = match t.stop_reason {
             StopReason::AllCandidatesRefused => "all-refused",
             StopReason::ActiveExhausted => "exhausted",

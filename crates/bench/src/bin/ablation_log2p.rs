@@ -71,9 +71,7 @@ fn main() {
             wins_mem += 1;
         }
     }
-    println!(
-        "\nlog2(p) wins {wins_cost}/{SPLITS} splits on cost, {wins_mem}/{SPLITS} on memory"
-    );
+    println!("\nlog2(p) wins {wins_cost}/{SPLITS} splits on cost, {wins_mem}/{SPLITS} on memory");
     println!(
         "expected: the exponent axis helps most for the memory model, whose\n\
          1/p structure is poorly captured by a linear node-count feature."

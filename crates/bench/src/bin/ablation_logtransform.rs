@@ -60,7 +60,10 @@ fn main() {
     // Per-decade error breakdown: the transform's benefit concentrates in
     // the cheap extremes.
     println!("\nmean |error| by actual-cost decade:");
-    println!("{:>20} {:>12} {:>12} {:>6}", "decade (node-hours)", "log model", "raw model", "n");
+    println!(
+        "{:>20} {:>12} {:>12} {:>6}",
+        "decade (node-hours)", "log model", "raw model", "n"
+    );
     let mut decades: Vec<(i32, Vec<f64>, Vec<f64>)> = Vec::new();
     for ((pl, pr), a) in pred_log.mean.iter().zip(&pred_raw.mean).zip(&actual) {
         let d = a.log10().floor() as i32;

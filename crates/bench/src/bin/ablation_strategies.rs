@@ -63,10 +63,7 @@ fn main() {
             .iter()
             .filter_map(|t| t.records.last().map(|r| r.rmse_cost))
             .collect();
-        let med_costs: Vec<f64> = ts
-            .iter()
-            .flat_map(|t| t.selected_costs(150))
-            .collect();
+        let med_costs: Vec<f64> = ts.iter().flat_map(|t| t.selected_costs(150)).collect();
         println!(
             "{:<18} {:>12.3} {:>12.2} {:>10.1} {:>14.4} {:>14.4}",
             kind.label(),

@@ -73,9 +73,7 @@ fn main() {
             p_rmse
         );
     }
-    println!(
-        "\n(wins on shared partitions; smaller metric wins; two-sided exact sign test)"
-    );
+    println!("\n(wins on shared partitions; smaller metric wins; two-sided exact sign test)");
 
     // Archive every trajectory for offline re-analysis (the paper's
     // published-notebook workflow).

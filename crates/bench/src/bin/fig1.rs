@@ -38,7 +38,7 @@ fn main() {
         };
         let started = std::time::Instant::now();
         let mut solver = AmrSolver::new(&config, profile);
-        let work = solver.run();
+        let work = solver.run().expect("simulation");
         println!(
             "--- maxlevel = {maxlevel} (simulated t = {:.3} in {:.1}s, {} steps) ---",
             work.final_time,

@@ -39,7 +39,10 @@ fn main() {
         let costs = t.selected_costs(150);
         let log_costs: Vec<f64> = costs.iter().map(|c| c.log10()).collect();
         print!("{}", format_violin(kind.label(), &costs, 1));
-        print!("{}", format_violin(&format!("{} (log10)", kind.label()), &log_costs, 12));
+        print!(
+            "{}",
+            format_violin(&format!("{} (log10)", kind.label()), &log_costs, 12)
+        );
         println!(
             "  [{} iterations in {:.1}s]\n",
             t.len(),

@@ -93,8 +93,7 @@ fn main() {
                 .filter_map(|t| t.records.last().map(|r| r.rmse_cost))
                 .sum::<f64>()
                 / ts.len().max(1) as f64;
-            let cost: f64 =
-                ts.iter().map(|t| t.total_cost()).sum::<f64>() / ts.len().max(1) as f64;
+            let cost: f64 = ts.iter().map(|t| t.total_cost()).sum::<f64>() / ts.len().max(1) as f64;
             println!(
                 "{:<14} initial {init:8.4} -> final {fin:8.4}  (mean total cost {cost:8.2} node-hours)",
                 kind.label()
@@ -128,8 +127,13 @@ fn weighted_rmse_report(dataset: &al_dataset::Dataset, args: &Args, lmem_log: f6
         seed: args.seed,
         ..AlOptions::default()
     };
-    let t = run_trajectory(dataset, &partition, StrategyKind::RandGoodness { base: 10.0 }, &opts)
-        .expect("trajectory");
+    let t = run_trajectory(
+        dataset,
+        &partition,
+        StrategyKind::RandGoodness { base: 10.0 },
+        &opts,
+    )
+    .expect("trajectory");
 
     // Refit a model on everything the trajectory learned and compare
     // uniform vs cost-weighted test error.

@@ -67,7 +67,8 @@ fn main() {
             machine: MachineModel::default(),
             n_threads: args.threads,
         },
-    );
+    )
+    .expect("AMR simulation failed");
     eprintln!("measured in {:.1}s", started.elapsed().as_secs_f64());
 
     if let Some(parent) = out.parent() {

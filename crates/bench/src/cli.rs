@@ -73,7 +73,9 @@ impl Args {
         it: &mut impl Iterator<Item = String>,
         flag: &str,
     ) -> Result<T, String> {
-        let v = it.next().ok_or_else(|| format!("{flag} requires a value"))?;
+        let v = it
+            .next()
+            .ok_or_else(|| format!("{flag} requires a value"))?;
         v.parse()
             .map_err(|_| format!("{flag}: invalid value {v:?}"))
     }
@@ -95,8 +97,16 @@ mod tests {
 
     #[test]
     fn parses_all_common_flags() {
-        let a = parse(&["--fast", "--threads", "8", "--trajectories", "12", "--seed", "7"])
-            .unwrap();
+        let a = parse(&[
+            "--fast",
+            "--threads",
+            "8",
+            "--trajectories",
+            "12",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
         assert!(a.fast);
         assert_eq!(a.threads, 8);
         assert_eq!(a.trajectories, 12);

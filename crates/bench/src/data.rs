@@ -26,7 +26,11 @@ pub fn dataset_path(fast: bool) -> PathBuf {
         .expect("bench crate lives two levels under the workspace root")
         .to_path_buf();
     path.push("data");
-    path.push(if fast { "dataset_fast.csv" } else { "dataset.csv" });
+    path.push(if fast {
+        "dataset_fast.csv"
+    } else {
+        "dataset.csv"
+    });
     path
 }
 
@@ -53,7 +57,7 @@ pub fn paper_dataset(fast: bool, threads: usize) -> Dataset {
             n_threads: threads,
         };
         let started = std::time::Instant::now();
-        let samples = generate_parallel(&jobs, &opts);
+        let samples = generate_parallel(&jobs, &opts).expect("AMR simulation failed");
         eprintln!("generated in {:.1}s", started.elapsed().as_secs_f64());
         samples
     })

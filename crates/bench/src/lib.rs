@@ -1,3 +1,6 @@
+// Tests compare exactly-copied floats; the cfg(test) compile allows that
+// while the regular compile still lints library code.
+#![cfg_attr(test, allow(clippy::float_cmp))]
 #![warn(missing_docs)]
 
 //! Shared support for the experiment harness: dataset caching, a tiny CLI

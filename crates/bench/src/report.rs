@@ -111,11 +111,7 @@ mod tests {
 
     #[test]
     fn curves_handle_ragged_lengths() {
-        let s = format_curves(
-            &["a", "b"],
-            &[vec![1.0, 2.0, 3.0], vec![10.0]],
-            10,
-        );
+        let s = format_curves(&["a", "b"], &[vec![1.0, 2.0, 3.0], vec![10.0]], 10);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines[0], "iter,a,b");
         assert!(lines[1].starts_with("0,1.000000,10.000000"));

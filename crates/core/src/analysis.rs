@@ -36,7 +36,10 @@ fn mean_std(v: &[f64]) -> (f64, f64) {
 ///
 /// Panics on an empty batch.
 pub fn summarize(trajectories: &[Trajectory]) -> StrategyStats {
-    assert!(!trajectories.is_empty(), "cannot summarize zero trajectories");
+    assert!(
+        !trajectories.is_empty(),
+        "cannot summarize zero trajectories"
+    );
     let final_of = |f: &dyn Fn(&crate::trajectory::IterationRecord) -> f64| -> Vec<f64> {
         trajectories
             .iter()
@@ -49,7 +52,10 @@ pub fn summarize(trajectories: &[Trajectory]) -> StrategyStats {
         final_rmse_cost: mean_std(&final_of(&|r| r.rmse_cost)),
         final_rmse_mem: mean_std(&final_of(&|r| r.rmse_mem)),
         total_cost: mean_std(
-            &trajectories.iter().map(|t| t.total_cost()).collect::<Vec<_>>(),
+            &trajectories
+                .iter()
+                .map(|t| t.total_cost())
+                .collect::<Vec<_>>(),
         ),
         total_regret: mean_std(
             &trajectories
@@ -64,7 +70,10 @@ pub fn summarize(trajectories: &[Trajectory]) -> StrategyStats {
                 .collect::<Vec<_>>(),
         ),
         mean_length: stats::mean(
-            &trajectories.iter().map(|t| t.len() as f64).collect::<Vec<_>>(),
+            &trajectories
+                .iter()
+                .map(|t| t.len() as f64)
+                .collect::<Vec<_>>(),
         ),
     }
 }

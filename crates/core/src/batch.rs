@@ -58,7 +58,7 @@ pub fn run_batch(
     let results: Mutex<Vec<Option<Result<Trajectory, GpError>>>> =
         Mutex::new((0..jobs.len()).map(|_| None).collect());
 
-    crossbeam::thread::scope(|scope| {
+    if let Err(payload) = crossbeam::thread::scope(|scope| {
         for _ in 0..n_threads {
             let cursor = &cursor;
             let results = &results;
@@ -85,10 +85,16 @@ pub fn run_batch(
                 results.lock()[k] = Some(result);
             });
         }
-    })
-    .expect("thread scope");
+    }) {
+        // A worker panicked; re-raise its payload rather than masking it
+        // behind a second, less informative panic here.
+        std::panic::resume_unwind(payload);
+    }
 
     let collected = results.into_inner();
+    // Every worker exited normally (a panic would have unwound above), so
+    // the work-stealing cursor guarantees each slot was filled exactly once.
+    debug_assert!(collected.iter().all(Option::is_some));
     let mut per_strategy: Vec<(StrategyKind, Vec<Trajectory>)> = spec
         .strategies
         .iter()
@@ -96,7 +102,9 @@ pub fn run_batch(
         .collect();
     for (k, result) in collected.into_iter().enumerate() {
         let (s, _) = jobs[k];
-        per_strategy[s].1.push(result.expect("every job ran")?);
+        if let Some(result) = result {
+            per_strategy[s].1.push(result?);
+        }
     }
     Ok(per_strategy)
 }
@@ -179,8 +187,7 @@ mod tests {
         // Same partition ⇒ same initial RMSE for deterministic initial fit.
         for t in 0..2 {
             assert_eq!(
-                out[0].1[t].initial_rmse_cost,
-                out[1].1[t].initial_rmse_cost,
+                out[0].1[t].initial_rmse_cost, out[1].1[t].initial_rmse_cost,
                 "trajectory {t} partitions must match across strategies"
             );
         }

@@ -41,7 +41,11 @@ pub fn write_trajectory_csv(trajectory: &Trajectory, path: &Path) -> io::Result<
     writeln!(w, "# n_init: {}", trajectory.n_init)?;
     writeln!(w, "# initial_rmse_cost: {}", trajectory.initial_rmse_cost)?;
     writeln!(w, "# initial_rmse_mem: {}", trajectory.initial_rmse_mem)?;
-    writeln!(w, "# stop_reason: {}", stop_reason_str(trajectory.stop_reason))?;
+    writeln!(
+        w,
+        "# stop_reason: {}",
+        stop_reason_str(trajectory.stop_reason)
+    )?;
     writeln!(w, "{RECORD_HEADER}")?;
     for r in &trajectory.records {
         writeln!(
@@ -87,17 +91,13 @@ pub fn read_trajectory_csv(path: &Path) -> io::Result<Trajectory> {
             match key.trim() {
                 "strategy" => strategy = value.to_string(),
                 "n_init" => {
-                    n_init = value
-                        .parse()
-                        .map_err(|e| bad(format!("n_init: {e}")))?;
+                    n_init = value.parse().map_err(|e| bad(format!("n_init: {e}")))?;
                 }
                 "initial_rmse_cost" => {
-                    initial_rmse_cost =
-                        value.parse().map_err(|e| bad(format!("rmse: {e}")))?;
+                    initial_rmse_cost = value.parse().map_err(|e| bad(format!("rmse: {e}")))?;
                 }
                 "initial_rmse_mem" => {
-                    initial_rmse_mem =
-                        value.parse().map_err(|e| bad(format!("rmse: {e}")))?;
+                    initial_rmse_mem = value.parse().map_err(|e| bad(format!("rmse: {e}")))?;
                 }
                 "stop_reason" => {
                     stop_reason = parse_stop_reason(value)

@@ -130,8 +130,14 @@ pub fn run_trajectory(
     let mut rng = StdRng::seed_from_u64(opts.seed);
 
     let mut train = TrainingSet::from_partition(dataset, &partition.init);
-    let mut gp_cost = GpModel::new(opts.kernel.build(opts.init_length_scale), opts.noise_variance);
-    let mut gp_mem = GpModel::new(opts.kernel.build(opts.init_length_scale), opts.noise_variance);
+    let mut gp_cost = GpModel::new(
+        opts.kernel.build(opts.init_length_scale),
+        opts.noise_variance,
+    );
+    let mut gp_mem = GpModel::new(
+        opts.kernel.build(opts.init_length_scale),
+        opts.noise_variance,
+    );
     gp_cost.fit_optimized(&train.x(), &train.cost, &opts.initial_fit)?;
     gp_mem.fit_optimized(&train.x(), &train.memory, &opts.initial_fit)?;
 
@@ -309,7 +315,7 @@ pub(crate) mod test_util {
     /// cost grows multiplicatively in `maxlevel`/`mx`, memory in
     /// `mx`/`maxlevel` divided by `p` — the same qualitative shape as the
     /// AMR data, but cheap to build in tests.
-    pub fn synth_dataset(n: usize) -> Dataset {
+    pub(crate) fn synth_dataset(n: usize) -> Dataset {
         let ps = [4u32, 8, 16, 32];
         let mxs = [8usize, 16, 24, 32];
         let mls = [3u8, 4, 5, 6];
@@ -619,10 +625,20 @@ mod tests {
     fn same_seed_reproduces_trajectory() {
         let d = synth_dataset(36);
         let p = partition(&d, 3, 9);
-        let a = run_trajectory(&d, &p, StrategyKind::RandGoodness { base: 10.0 }, &fast_opts())
-            .unwrap();
-        let b = run_trajectory(&d, &p, StrategyKind::RandGoodness { base: 10.0 }, &fast_opts())
-            .unwrap();
+        let a = run_trajectory(
+            &d,
+            &p,
+            StrategyKind::RandGoodness { base: 10.0 },
+            &fast_opts(),
+        )
+        .unwrap();
+        let b = run_trajectory(
+            &d,
+            &p,
+            StrategyKind::RandGoodness { base: 10.0 },
+            &fast_opts(),
+        )
+        .unwrap();
         assert_eq!(a, b);
     }
 }

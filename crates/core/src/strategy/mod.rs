@@ -118,9 +118,7 @@ impl StrategyKind {
             StrategyKind::RandGoodness { base } => Box::new(RandGoodness::new(base)),
             StrategyKind::Rgma { base } => Box::new(Rgma::new(base)),
             StrategyKind::MaxSigmaMa => Box::new(MaxSigmaMa),
-            StrategyKind::CostWeightedSigma { lambda } => {
-                Box::new(CostWeightedSigma::new(lambda))
-            }
+            StrategyKind::CostWeightedSigma { lambda } => Box::new(CostWeightedSigma::new(lambda)),
         }
     }
 
@@ -139,10 +137,7 @@ impl StrategyKind {
 
     /// Whether the strategy consults the memory model.
     pub fn is_memory_aware(&self) -> bool {
-        matches!(
-            self,
-            StrategyKind::Rgma { .. } | StrategyKind::MaxSigmaMa
-        )
+        matches!(self, StrategyKind::Rgma { .. } | StrategyKind::MaxSigmaMa)
     }
 }
 
@@ -167,10 +162,7 @@ pub(crate) fn goodness_weights(
     if !max_e.is_finite() {
         return None;
     }
-    let weights: Vec<f64> = exps
-        .iter()
-        .map(|e| base.powf(e - max_e))
-        .collect();
+    let weights: Vec<f64> = exps.iter().map(|e| base.powf(e - max_e)).collect();
     let total: f64 = weights.iter().sum();
     if total <= 0.0 || !total.is_finite() {
         return None;
@@ -183,16 +175,16 @@ pub(crate) mod test_util {
     use super::*;
 
     /// A context whose four vectors are owned, for strategy unit tests.
-    pub struct OwnedContext {
-        pub mu_cost: Vec<f64>,
-        pub sigma_cost: Vec<f64>,
-        pub mu_mem: Vec<f64>,
-        pub sigma_mem: Vec<f64>,
-        pub mem_limit_log: Option<f64>,
+    pub(crate) struct OwnedContext {
+        pub(crate) mu_cost: Vec<f64>,
+        pub(crate) sigma_cost: Vec<f64>,
+        pub(crate) mu_mem: Vec<f64>,
+        pub(crate) sigma_mem: Vec<f64>,
+        pub(crate) mem_limit_log: Option<f64>,
     }
 
     impl OwnedContext {
-        pub fn uniform(n: usize) -> Self {
+        pub(crate) fn uniform(n: usize) -> Self {
             OwnedContext {
                 mu_cost: vec![0.0; n],
                 sigma_cost: vec![1.0; n],
@@ -202,7 +194,7 @@ pub(crate) mod test_util {
             }
         }
 
-        pub fn ctx(&self) -> SelectionContext<'_> {
+        pub(crate) fn ctx(&self) -> SelectionContext<'_> {
             SelectionContext {
                 mu_cost: &self.mu_cost,
                 sigma_cost: &self.sigma_cost,
@@ -292,6 +284,9 @@ mod tests {
         let sigma = [0.0, 0.0];
         let w10 = goodness_weights(10.0, &mu, &sigma, &[0, 1]).unwrap();
         let w100 = goodness_weights(100.0, &mu, &sigma, &[0, 1]).unwrap();
-        assert!(w100[0] > w10[0], "base 100 concentrates more on the cheap candidate");
+        assert!(
+            w100[0] > w10[0],
+            "base 100 concentrates more on the cheap candidate"
+        );
     }
 }

@@ -75,7 +75,10 @@ mod tests {
         let picked_expensive = (0..20_000)
             .filter(|_| s.select(&owned.ctx(), &mut rng) == Some(1))
             .count();
-        assert!(picked_expensive > 50, "exploration happens: {picked_expensive}");
+        assert!(
+            picked_expensive > 50,
+            "exploration happens: {picked_expensive}"
+        );
         assert!(picked_expensive < 1000, "but rarely: {picked_expensive}");
     }
 

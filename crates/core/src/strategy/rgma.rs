@@ -34,14 +34,13 @@ impl SelectionStrategy for Rgma {
     }
 
     fn select(&self, ctx: &SelectionContext<'_>, rng: &mut dyn Rng) -> Option<usize> {
-        let limit = ctx
-            .mem_limit_log
-            .expect("RGMA requires a memory limit in the AL options");
+        // `run_trajectory` validates that memory-aware strategies get a
+        // limit; for direct callers without one, refusing every candidate
+        // (None) is the safe degradation.
+        let limit = ctx.mem_limit_log?;
         // Algorithm 2, lines 1–2: classify candidates as satisfying
         // (μ_mem < L_mem) or exceeding.
-        let satisfying: Vec<usize> = (0..ctx.len())
-            .filter(|&i| ctx.mu_mem[i] < limit)
-            .collect();
+        let satisfying: Vec<usize> = (0..ctx.len()).filter(|&i| ctx.mu_mem[i] < limit).collect();
         // Lines 3–5: goodness-weighted draw over the satisfying set.
         let weights = goodness_weights(self.base, ctx.mu_cost, ctx.sigma_cost, &satisfying)?;
         weighted_index(rng, &weights).map(|k| satisfying[k])
@@ -112,11 +111,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "memory limit")]
-    fn missing_limit_is_a_configuration_bug() {
+    fn missing_limit_refuses_every_candidate() {
+        // `run_trajectory` asserts the limit is present; a direct caller
+        // without one gets the safe degradation (no selection) instead of
+        // a panic.
         let owned = OwnedContext::uniform(2);
         let mut rng = StdRng::seed_from_u64(10);
-        Rgma::new(10.0).select(&owned.ctx(), &mut rng);
+        assert_eq!(Rgma::new(10.0).select(&owned.ctx(), &mut rng), None);
     }
 
     #[test]

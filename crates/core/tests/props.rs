@@ -1,6 +1,17 @@
 //! Property-based tests for the AL layer: strategy semantics and metric
 //! invariants over arbitrary prediction vectors.
 
+// Integration tests run outside #[cfg(test)], so the in-tests carve-outs
+// from clippy.toml don't reach them; tests may panic, compare exact copied
+// floats, and index loops for readability.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::needless_range_loop
+)]
+
 use al_core::metrics::{rmse_nonlog, CumulativeTracker};
 use al_core::{SelectionContext, StrategyKind};
 use proptest::prelude::*;

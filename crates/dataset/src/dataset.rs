@@ -168,10 +168,7 @@ impl Dataset {
     /// Fraction of samples whose memory meets or exceeds a log10 limit.
     pub fn violating_fraction(&self, limit_log: f64) -> f64 {
         let limit = crate::transform::unlog10_response(limit_log);
-        self.samples
-            .iter()
-            .filter(|s| s.memory_mb >= limit)
-            .count() as f64
+        self.samples.iter().filter(|s| s.memory_mb >= limit).count() as f64
             / self.samples.len() as f64
     }
 }

@@ -3,7 +3,7 @@
 //! jobs on Edison).
 
 use crate::sample::Sample;
-use al_amr_sim::{run_simulation, MachineModel, SimulationConfig, SolverProfile};
+use al_amr_sim::{run_simulation, AmrError, MachineModel, SimulationConfig, SolverProfile};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Options for [`generate_parallel`].
@@ -27,7 +27,8 @@ impl Default for GenerateOptions {
     }
 }
 
-/// Run every `(config, repeat)` job and return samples in job order.
+/// Run every `(config, repeat)` job and return samples in job order, or
+/// the first [`AmrError`] any simulation reported.
 ///
 /// Work is distributed dynamically via an atomic cursor so the expensive
 /// tail (deep `maxlevel`, large `mx`) does not serialize behind one thread.
@@ -36,9 +37,9 @@ impl Default for GenerateOptions {
 pub fn generate_parallel(
     jobs: &[(SimulationConfig, u32)],
     opts: &GenerateOptions,
-) -> Vec<Sample> {
+) -> Result<Vec<Sample>, AmrError> {
     if jobs.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let n_threads = if opts.n_threads == 0 {
         std::thread::available_parallelism()
@@ -50,9 +51,9 @@ pub fn generate_parallel(
     .min(jobs.len());
 
     let cursor = AtomicUsize::new(0);
-    let mut per_thread: Vec<Vec<(usize, Sample)>> = Vec::new();
+    let mut per_thread: Vec<Result<Vec<(usize, Sample)>, AmrError>> = Vec::new();
 
-    crossbeam::thread::scope(|scope| {
+    let scope_result = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_threads);
         for _ in 0..n_threads {
             let cursor = &cursor;
@@ -64,25 +65,34 @@ pub fn generate_parallel(
                         break;
                     }
                     let (config, repeat) = jobs[i];
-                    let outcome = run_simulation(&config, opts.profile, &opts.machine, repeat);
+                    let outcome = run_simulation(&config, opts.profile, &opts.machine, repeat)?;
                     local.push((i, Sample::from(outcome)));
                 }
-                local
+                Ok(local)
             }));
         }
         for h in handles {
-            per_thread.push(h.join().expect("worker thread panicked"));
+            match h.join() {
+                Ok(local) => per_thread.push(local),
+                // Re-raise the worker's panic with its original payload
+                // instead of masking it behind a second panic here.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
-    })
-    .expect("thread scope");
-
-    let mut out: Vec<Option<Sample>> = vec![None; jobs.len()];
-    for (i, sample) in per_thread.into_iter().flatten() {
-        out[i] = Some(sample);
+    });
+    if let Err(payload) = scope_result {
+        std::panic::resume_unwind(payload);
     }
-    out.into_iter()
-        .map(|s| s.expect("every job produced a sample"))
-        .collect()
+
+    let mut pairs: Vec<(usize, Sample)> = Vec::with_capacity(jobs.len());
+    for local in per_thread {
+        pairs.extend(local?);
+    }
+    // The cursor hands every index to exactly one worker, so after all
+    // workers returned Ok the pairs cover the jobs exactly once.
+    debug_assert_eq!(pairs.len(), jobs.len());
+    pairs.sort_by_key(|(i, _)| *i);
+    Ok(pairs.into_iter().map(|(_, sample)| sample).collect())
 }
 
 #[cfg(test)]
@@ -100,14 +110,14 @@ mod tests {
 
     #[test]
     fn empty_job_list_yields_empty_dataset() {
-        assert!(generate_parallel(&[], &smoke_opts(2)).is_empty());
+        assert!(generate_parallel(&[], &smoke_opts(2)).unwrap().is_empty());
     }
 
     #[test]
     fn parallel_generation_matches_serial() {
         let jobs = SweepGrid::small().draw_jobs(6, 2, 3);
-        let serial = generate_parallel(&jobs, &smoke_opts(1));
-        let parallel = generate_parallel(&jobs, &smoke_opts(4));
+        let serial = generate_parallel(&jobs, &smoke_opts(1)).unwrap();
+        let parallel = generate_parallel(&jobs, &smoke_opts(4)).unwrap();
         assert_eq!(serial.len(), 8);
         assert_eq!(serial, parallel, "thread count must not change results");
     }
@@ -115,7 +125,7 @@ mod tests {
     #[test]
     fn samples_align_with_jobs() {
         let jobs = SweepGrid::small().draw_jobs(4, 1, 9);
-        let samples = generate_parallel(&jobs, &smoke_opts(2));
+        let samples = generate_parallel(&jobs, &smoke_opts(2)).unwrap();
         for ((config, _), sample) in jobs.iter().zip(&samples) {
             assert_eq!(sample.config, *config);
             assert!(sample.cost_node_hours > 0.0);
@@ -127,7 +137,7 @@ mod tests {
         let grid = SweepGrid::small();
         let config = grid.all_configs()[0];
         let jobs = vec![(config, 0u32), (config, 1u32)];
-        let samples = generate_parallel(&jobs, &smoke_opts(2));
+        let samples = generate_parallel(&jobs, &smoke_opts(2)).unwrap();
         assert_ne!(samples[0].cost_node_hours, samples[1].cost_node_hours);
         // Noise is small: within a factor of 2.
         let ratio = samples[0].cost_node_hours / samples[1].cost_node_hours;

@@ -113,7 +113,13 @@ impl SweepGrid {
         let mut weights: Vec<f64> = all.iter().map(|c| self.selection_weight(c)).collect();
         let mut chosen: Vec<usize> = Vec::with_capacity(n_unique);
         for _ in 0..n_unique {
-            let idx = weighted_index(&mut rng, &weights).expect("positive weights remain");
+            // `weighted_index` returns None only when every remaining
+            // weight is zero (a degenerate selection_weight). Fall back to
+            // the first not-yet-chosen config so the draw still completes
+            // with `n_unique` distinct configurations.
+            let idx = weighted_index(&mut rng, &weights)
+                .or_else(|| (0..all.len()).find(|i| !chosen.contains(i)))
+                .unwrap_or(0);
             chosen.push(idx);
             weights[idx] = 0.0; // without replacement
         }

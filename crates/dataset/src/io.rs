@@ -191,13 +191,12 @@ mod tests {
     fn read_rejects_short_rows_and_bad_numbers() {
         let path = tmpfile("badrow");
         std::fs::write(&path, format!("{HEADER}\n1,2,3\n")).unwrap();
-        assert!(matches!(read_csv(&path), Err(IoError::Parse { line: 2, .. })));
+        assert!(matches!(
+            read_csv(&path),
+            Err(IoError::Parse { line: 2, .. })
+        ));
 
-        std::fs::write(
-            &path,
-            format!("{HEADER}\n4,8,3,0.2,abc,1.0,0.1,0.5\n"),
-        )
-        .unwrap();
+        std::fs::write(&path, format!("{HEADER}\n4,8,3,0.2,abc,1.0,0.1,0.5\n")).unwrap();
         let err = read_csv(&path).unwrap_err();
         assert!(err.to_string().contains("line 2"));
         std::fs::remove_file(&path).ok();
@@ -206,11 +205,7 @@ mod tests {
     #[test]
     fn read_skips_blank_lines() {
         let path = tmpfile("blank");
-        std::fs::write(
-            &path,
-            format!("{HEADER}\n4,8,3,0.2,0.05,1.0,0.1,0.5\n\n"),
-        )
-        .unwrap();
+        std::fs::write(&path, format!("{HEADER}\n4,8,3,0.2,0.05,1.0,0.1,0.5\n\n")).unwrap();
         assert_eq!(read_csv(&path).unwrap().len(), 1);
         std::fs::remove_file(&path).ok();
     }

@@ -58,12 +58,7 @@ impl TableSummary {
     /// (min / median / mean / max).
     pub fn format(&self) -> String {
         let mut out = String::new();
-        let name_width = self
-            .rows
-            .iter()
-            .map(|(n, _)| n.len())
-            .max()
-            .unwrap_or(10);
+        let name_width = self.rows.iter().map(|(n, _)| n.len()).max().unwrap_or(10);
         out.push_str(&format!(
             "{:<name_width$}  {:>10}  {:>10}  {:>10}  {:>10}\n",
             "", "min", "median", "mean", "max"

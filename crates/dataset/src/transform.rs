@@ -51,11 +51,7 @@ impl FeatureScaler {
                 maxs[k] = maxs[k].max(row[k]);
             }
         }
-        let spans = mins
-            .iter()
-            .zip(&maxs)
-            .map(|(lo, hi)| hi - lo)
-            .collect();
+        let spans = mins.iter().zip(&maxs).map(|(lo, hi)| hi - lo).collect();
         FeatureScaler { mins, spans }
     }
 

@@ -1,5 +1,16 @@
 //! Property-based tests for the dataset pipeline.
 
+// Integration tests run outside #[cfg(test)], so the in-tests carve-outs
+// from clippy.toml don't reach them; tests may panic, compare exact copied
+// floats, and index loops for readability.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::needless_range_loop
+)]
+
 use al_amr_sim::SimulationConfig;
 use al_dataset::io;
 use al_dataset::{Dataset, FeatureScaler, Partition, Sample, SweepGrid};
@@ -13,18 +24,20 @@ fn sample_strategy() -> impl Strategy<Value = Sample> {
         (0.05f64..1.0, 0.01f64..1.0),
         (0.001f64..1e4, 0.001f64..1e4, 0.001f64..100.0),
     )
-        .prop_map(|((p, mx, maxlevel), (r0, rhoin), (wall, cost, mem))| Sample {
-            config: SimulationConfig {
-                p,
-                mx,
-                maxlevel,
-                r0,
-                rhoin,
+        .prop_map(
+            |((p, mx, maxlevel), (r0, rhoin), (wall, cost, mem))| Sample {
+                config: SimulationConfig {
+                    p,
+                    mx,
+                    maxlevel,
+                    r0,
+                    rhoin,
+                },
+                wall_seconds: wall,
+                cost_node_hours: cost,
+                memory_mb: mem,
             },
-            wall_seconds: wall,
-            cost_node_hours: cost,
-            memory_mb: mem,
-        })
+        )
 }
 
 proptest! {

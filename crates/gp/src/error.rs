@@ -60,7 +60,10 @@ mod tests {
         assert!(GpError::NotFitted.to_string().contains("fit"));
         let e = GpError::InvalidTrainingData { n_x: 3, n_y: 4 };
         assert!(e.to_string().contains('3'));
-        let e = GpError::BadParamLength { expected: 2, got: 5 };
+        let e = GpError::BadParamLength {
+            expected: 2,
+            got: 5,
+        };
         assert!(e.to_string().contains('5'));
     }
 }

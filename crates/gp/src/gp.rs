@@ -154,6 +154,16 @@ impl GpModel {
                 "training set",
             )));
         }
+        // Non-finite training data would silently poison the kernel matrix
+        // and every downstream posterior; fail loudly in debug builds.
+        debug_assert!(
+            x.as_slice().iter().all(|v| v.is_finite()),
+            "GP design matrix contains non-finite entries"
+        );
+        debug_assert!(
+            y.iter().all(|v| v.is_finite()),
+            "GP responses contain non-finite entries"
+        );
         let y_mean = if self.normalize_y {
             al_linalg::stats::mean(y)
         } else {
@@ -201,8 +211,8 @@ impl GpModel {
         }
         let n = fitted.x.rows();
         let mut k_vec = vec![0.0; n];
-        for i in 0..n {
-            k_vec[i] = self.kernel.value(x_new, fitted.x.row(i));
+        for (i, k) in k_vec.iter_mut().enumerate() {
+            *k = self.kernel.value(x_new, fitted.x.row(i));
         }
         let diag = self.kernel.diag_value() + self.log_noise.exp();
 
@@ -302,9 +312,7 @@ impl GpModel {
         }
         // Noise: ∂K_y/∂log σ_n² = σ_n² I.
         let sn2 = self.noise_variance();
-        let trace_term: f64 = (0..n)
-            .map(|i| alpha[i] * alpha[i] - k_inv[(i, i)])
-            .sum();
+        let trace_term: f64 = (0..n).map(|i| alpha[i] * alpha[i] - k_inv[(i, i)]).sum();
         grad[nk] = 0.5 * sn2 * trace_term;
         Ok(grad)
     }
@@ -319,6 +327,10 @@ impl GpModel {
                 rhs: xs.shape(),
             }));
         }
+        debug_assert!(
+            xs.as_slice().iter().all(|v| v.is_finite()),
+            "GP query points contain non-finite entries"
+        );
         let n = fitted.x.rows();
         let m = xs.rows();
         let mut mean = Vec::with_capacity(m);
@@ -326,8 +338,8 @@ impl GpModel {
         let mut kstar = vec![0.0; n];
         for q in 0..m {
             let xq = xs.row(q);
-            for i in 0..n {
-                kstar[i] = self.kernel.value(xq, fitted.x.row(i));
+            for (i, k) in kstar.iter_mut().enumerate() {
+                *k = self.kernel.value(xq, fitted.x.row(i));
             }
             mean.push(fitted.y_mean + ops::dot(&kstar, &fitted.alpha));
             // σ² = k(x*,x*) − ‖L⁻¹ k*‖², clamped at 0 against rounding.
@@ -361,8 +373,8 @@ impl GpModel {
         let mut kstar = vec![0.0; n];
         for q in 0..m {
             let xq = xs.row(q);
-            for i in 0..n {
-                kstar[i] = self.kernel.value(xq, fitted.x.row(i));
+            for (i, k) in kstar.iter_mut().enumerate() {
+                *k = self.kernel.value(xq, fitted.x.row(i));
             }
             mean.push(fitted.y_mean + ops::dot(&kstar, &fitted.alpha));
             let col = fitted.chol.solve_lower(&kstar)?;
@@ -486,9 +498,9 @@ mod tests {
         let (x, y) = sine_data(12);
         let mut m = toy_model();
         m.fit(&x, &y).unwrap();
-        for i in 0..x.rows() {
+        for (i, &yi) in y.iter().enumerate() {
             let (mu, sigma) = m.predict_one(x.row(i)).unwrap();
-            assert!((mu - y[i]).abs() < 1e-2, "point {i}: {mu} vs {}", y[i]);
+            assert!((mu - yi).abs() < 1e-2, "point {i}: {mu} vs {yi}");
             assert!(sigma < 0.05, "σ at training point {i} = {sigma}");
         }
     }
@@ -647,8 +659,8 @@ mod tests {
         let x4 = x.select_rows(&(0..4).collect::<Vec<_>>());
         let mut m = toy_model().without_normalization();
         m.fit(&x4, &y[..4]).unwrap();
-        for i in 4..12 {
-            m.augment(x.row(i), y[i]).unwrap();
+        for (i, &yi) in y.iter().enumerate().skip(4) {
+            m.augment(x.row(i), yi).unwrap();
         }
         let mut fresh = toy_model().without_normalization();
         fresh.fit(&x, &y).unwrap();
@@ -718,7 +730,11 @@ mod tests {
             let vals: Vec<f64> = draws.iter().map(|d| d[q]).collect();
             let mean = al_linalg::stats::mean(&vals);
             let std = al_linalg::stats::std_dev(&vals);
-            assert!((mean - p.mean[q]).abs() < 0.2, "q{q}: {mean} vs {}", p.mean[q]);
+            assert!(
+                (mean - p.mean[q]).abs() < 0.2,
+                "q{q}: {mean} vs {}",
+                p.mean[q]
+            );
             assert!(
                 (std - p.std[q]).abs() < 0.15 * (1.0 + p.std[q]),
                 "q{q}: sample std {std} vs posterior {}",

@@ -185,6 +185,10 @@ impl Kernel for WhiteKernel {
     }
 
     fn value(&self, a: &[f64], b: &[f64]) -> f64 {
+        // White noise fires only when the two points are bitwise equal —
+        // the standard semantics for this kernel, so an exact comparison
+        // of the distance against zero is the intended test.
+        #[allow(clippy::float_cmp)] // alint: allow(L2)
         if sq_dist(a, b) == 0.0 {
             self.log_sigma2.exp()
         } else {
@@ -229,8 +233,8 @@ mod tests {
         let k = sum();
         let a = [0.1, 0.9];
         let b = [0.4, 0.3];
-        let expect = RbfKernel::new(1.5, 0.7).value(&a, &b)
-            + Matern32Kernel::new(0.8, 1.2).value(&a, &b);
+        let expect =
+            RbfKernel::new(1.5, 0.7).value(&a, &b) + Matern32Kernel::new(0.8, 1.2).value(&a, &b);
         assert!((k.value(&a, &b) - expect).abs() < 1e-12);
         assert!((k.diag_value() - 2.3).abs() < 1e-12);
         assert_eq!(k.n_params(), 4);
@@ -241,8 +245,8 @@ mod tests {
         let k = product();
         let a = [0.1, 0.9];
         let b = [0.4, 0.3];
-        let expect = RbfKernel::new(1.5, 0.7).value(&a, &b)
-            * Matern32Kernel::new(0.8, 1.2).value(&a, &b);
+        let expect =
+            RbfKernel::new(1.5, 0.7).value(&a, &b) * Matern32Kernel::new(0.8, 1.2).value(&a, &b);
         assert!((k.value(&a, &b) - expect).abs() < 1e-12);
         assert!((k.diag_value() - 1.2).abs() < 1e-12);
     }

@@ -1,3 +1,6 @@
+// Tests compare exactly-copied floats; the cfg(test) compile allows that
+// while the regular compile still lints library code.
+#![cfg_attr(test, allow(clippy::float_cmp))]
 #![warn(missing_docs)]
 
 //! Gaussian process regression for incremental performance modeling.
@@ -21,6 +24,6 @@ pub mod optimize;
 
 pub use error::GpError;
 pub use gp::{GpModel, Prediction};
-pub use local::LocalGpModel;
 pub use kernel::{ArdRbfKernel, Kernel, KernelKind, Matern32Kernel, Matern52Kernel, RbfKernel};
+pub use local::LocalGpModel;
 pub use optimize::FitOptions;

@@ -87,7 +87,15 @@ impl LocalGpModel {
         // Equal-count boundaries from the sorted axis values. Duplicate
         // boundary values would create empty slabs, so deduplicate.
         let mut axis_vals: Vec<f64> = (0..n).map(|i| x.row(i)[self.axis]).collect();
-        axis_vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
+        if axis_vals.iter().any(|v| v.is_nan()) {
+            // A NaN split feature cannot be ordered into slabs; report it
+            // as bad training data instead of panicking mid-sort.
+            return Err(GpError::InvalidTrainingData {
+                n_x: x.rows(),
+                n_y: y.len(),
+            });
+        }
+        axis_vals.sort_by(|a, b| a.total_cmp(b));
         let mut boundaries = Vec::new();
         for r in 1..regions {
             let b = axis_vals[r * n / regions];
@@ -101,10 +109,10 @@ impl LocalGpModel {
         let k = self.boundaries.len() + 1;
         let mut rows: Vec<Vec<f64>> = vec![Vec::new(); k];
         let mut ys: Vec<Vec<f64>> = vec![Vec::new(); k];
-        for i in 0..n {
+        for (i, &yi) in y.iter().enumerate().take(n) {
             let r = self.region_of(x.row(i));
             rows[r].extend_from_slice(x.row(i));
-            ys[r].push(y[i]);
+            ys[r].push(yi);
         }
 
         self.models.clear();
@@ -175,7 +183,8 @@ mod tests {
     fn regions_split_by_equal_counts() {
         let (x, y) = piecewise_data(24);
         let mut m = LocalGpModel::new(template(), 0, 3);
-        m.fit_optimized(&x, &y, &FitOptions::warm_start_only()).unwrap();
+        m.fit_optimized(&x, &y, &FitOptions::warm_start_only())
+            .unwrap();
         assert_eq!(m.n_regions(), 3);
         assert_eq!(m.boundaries().len(), 2);
         assert_eq!(m.region_of(&[0.0]), 0);
@@ -219,7 +228,8 @@ mod tests {
     fn sparse_data_collapses_regions() {
         let (x, y) = piecewise_data(6);
         let mut m = LocalGpModel::new(template(), 0, 4);
-        m.fit_optimized(&x, &y, &FitOptions::warm_start_only()).unwrap();
+        m.fit_optimized(&x, &y, &FitOptions::warm_start_only())
+            .unwrap();
         assert_eq!(m.n_regions(), 1, "6 points cannot sustain 4 regions");
     }
 
@@ -229,7 +239,8 @@ mod tests {
         let x = Matrix::from_vec(8, 1, vec![0.5; 8]);
         let y: Vec<f64> = (0..8).map(|i| i as f64 * 0.01).collect();
         let mut m = LocalGpModel::new(template(), 0, 2);
-        m.fit_optimized(&x, &y, &FitOptions::warm_start_only()).unwrap();
+        m.fit_optimized(&x, &y, &FitOptions::warm_start_only())
+            .unwrap();
         assert_eq!(m.n_regions(), 1);
         assert!(m.predict_one(&[0.5]).is_ok());
     }
@@ -238,7 +249,8 @@ mod tests {
     fn batch_predict_matches_pointwise() {
         let (x, y) = piecewise_data(20);
         let mut m = LocalGpModel::new(template(), 0, 2);
-        m.fit_optimized(&x, &y, &FitOptions::warm_start_only()).unwrap();
+        m.fit_optimized(&x, &y, &FitOptions::warm_start_only())
+            .unwrap();
         let q = Matrix::from_vec(3, 1, vec![0.1, 0.5, 0.9]);
         let batch = m.predict(&q).unwrap();
         for i in 0..3 {

@@ -78,9 +78,13 @@ pub(crate) fn maximize_lml(
     let mut best: Option<(f64, Vec<f64>)> = None;
     for start in starts {
         let mut objective = |p: &[f64]| model.lml_at(p, x, y);
-        if let Some((val, params)) =
-            adam_maximize(&mut objective, &start, opts.bounds, opts.max_iters, opts.learning_rate)
-        {
+        if let Some((val, params)) = adam_maximize(
+            &mut objective,
+            &start,
+            opts.bounds,
+            opts.max_iters,
+            opts.learning_rate,
+        ) {
             if best.as_ref().is_none_or(|(bv, _)| val > *bv) {
                 best = Some((val, params));
             }
@@ -89,6 +93,10 @@ pub(crate) fn maximize_lml(
     best.map(|(_, p)| p)
 }
 
+/// Objective for the maximizers: returns `(value, gradient)` or `None` at
+/// infeasible points.
+pub type Objective<'a> = dyn FnMut(&[f64]) -> Option<(f64, Vec<f64>)> + 'a;
+
 /// Adam gradient ascent with box bounds.
 ///
 /// `objective` returns `(value, gradient)` or `None` at infeasible points
@@ -96,7 +104,7 @@ pub(crate) fn maximize_lml(
 /// rolled back by halving the learning rate. Returns the best feasible
 /// `(value, point)` seen, or `None` if even the start is infeasible.
 pub fn adam_maximize(
-    objective: &mut dyn FnMut(&[f64]) -> Option<(f64, Vec<f64>)>,
+    objective: &mut Objective<'_>,
     start: &[f64],
     bounds: (f64, f64),
     max_iters: usize,
@@ -157,6 +165,14 @@ pub fn adam_maximize(
     Some(best)
 }
 
+/// Whether a simplex objective value is the `−∞` "evaluation failed"
+/// sentinel. The sentinel propagates exactly (no arithmetic touches it),
+/// so an equality test is the intended check.
+#[allow(clippy::float_cmp)] // alint: allow(L2)
+fn is_failed_eval(f: f64) -> bool {
+    f == f64::NEG_INFINITY
+}
+
 /// Derivative-free Nelder–Mead simplex maximization with box bounds.
 ///
 /// Used as a cross-check on the gradient path and by the kernel ablation
@@ -184,7 +200,7 @@ pub fn nelder_mead_maximize(
         let f = eval(objective, &p);
         simplex.push((f, p));
     }
-    if simplex.iter().all(|(f, _)| *f == f64::NEG_INFINITY) {
+    if simplex.iter().all(|(f, _)| is_failed_eval(*f)) {
         return None;
     }
 
@@ -249,7 +265,7 @@ pub fn nelder_mead_maximize(
     }
     simplex.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
     let (f, p) = simplex.swap_remove(0);
-    if f == f64::NEG_INFINITY {
+    if is_failed_eval(f) {
         None
     } else {
         let clamped: Vec<f64> = p.iter().map(|v| v.clamp(bounds.0, bounds.1)).collect();

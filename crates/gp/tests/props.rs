@@ -1,5 +1,16 @@
 //! Property-based tests for kernels and GP posteriors.
 
+// Integration tests run outside #[cfg(test)], so the in-tests carve-outs
+// from clippy.toml don't reach them; tests may panic, compare exact copied
+// floats, and index loops for readability.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::needless_range_loop
+)]
+
 use al_gp::{GpModel, KernelKind};
 use al_linalg::Matrix;
 use proptest::prelude::*;

@@ -47,13 +47,19 @@ impl Cholesky {
     /// This mirrors what GP libraries do when the RBF kernel makes nearby
     /// points numerically identical. The jitter actually used is recorded in
     /// [`Cholesky::jitter`].
-    pub fn with_jitter(a: &Matrix, initial_jitter: f64, max_jitter: f64) -> Result<Self, LinalgError> {
-        match Self::factor(a, 0.0) {
-            Ok(c) => return Ok(c),
-            Err(_) => {}
+    pub fn with_jitter(
+        a: &Matrix,
+        initial_jitter: f64,
+        max_jitter: f64,
+    ) -> Result<Self, LinalgError> {
+        if let Ok(c) = Self::factor(a, 0.0) {
+            return Ok(c);
         }
         let mut jitter = initial_jitter.max(f64::MIN_POSITIVE);
-        let mut last_err = LinalgError::NotPositiveDefinite { pivot: 0, value: 0.0 };
+        let mut last_err = LinalgError::NotPositiveDefinite {
+            pivot: 0,
+            value: 0.0,
+        };
         while jitter <= max_jitter {
             match Self::factor(a, jitter) {
                 Ok(c) => return Ok(c),
@@ -68,6 +74,16 @@ impl Cholesky {
         if a.rows() != a.cols() {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
+        // Non-finite entries would factor into NaN pivots and surface as a
+        // misleading NotPositiveDefinite; catch the real cause in debug.
+        debug_assert!(
+            a.as_slice().iter().all(|v| v.is_finite()),
+            "Cholesky input contains non-finite entries"
+        );
+        debug_assert!(
+            jitter.is_finite() && jitter >= 0.0,
+            "jitter must be finite and non-negative, got {jitter}"
+        );
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
         for j in 0..n {
@@ -144,8 +160,8 @@ impl Cholesky {
         let mut x = b.to_vec();
         for i in (0..n).rev() {
             let mut s = x[i];
-            for k in (i + 1)..n {
-                s -= self.l[(k, i)] * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l[(k, i)] * xk;
             }
             x[i] = s / self.l[(i, i)];
         }
@@ -197,9 +213,9 @@ impl Cholesky {
     }
 
     /// Reconstruct `L Lᵀ` (test helper; includes the jitter on the diagonal).
-    pub fn reconstruct(&self) -> Matrix {
+    pub fn reconstruct(&self) -> Result<Matrix, LinalgError> {
         let lt = self.l.transpose();
-        self.l.matmul(&lt).expect("square factor")
+        self.l.matmul(&lt)
     }
 
     /// Extend the factorization of `A` to that of the bordered matrix
@@ -223,7 +239,10 @@ impl Cholesky {
         let w = self.solve_lower(b)?;
         let d2 = c - crate::ops::dot(&w, &w);
         if d2 <= 0.0 || !d2.is_finite() {
-            return Err(LinalgError::NotPositiveDefinite { pivot: n, value: d2 });
+            return Err(LinalgError::NotPositiveDefinite {
+                pivot: n,
+                value: d2,
+            });
         }
         let mut l = Matrix::zeros(n + 1, n + 1);
         for i in 0..n {
@@ -244,18 +263,14 @@ mod tests {
 
     fn spd3() -> Matrix {
         // A = B Bᵀ + I for a fixed B is SPD by construction.
-        Matrix::from_vec(
-            3,
-            3,
-            vec![5.0, 2.0, 1.0, 2.0, 6.0, 2.0, 1.0, 2.0, 4.0],
-        )
+        Matrix::from_vec(3, 3, vec![5.0, 2.0, 1.0, 2.0, 6.0, 2.0, 1.0, 2.0, 4.0])
     }
 
     #[test]
     fn factor_reconstructs_input() {
         let a = spd3();
         let ch = Cholesky::new(&a).unwrap();
-        let r = ch.reconstruct();
+        let r = ch.reconstruct().unwrap();
         for i in 0..3 {
             for j in 0..3 {
                 assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-12, "entry ({i},{j})");
@@ -295,7 +310,7 @@ mod tests {
         let a = Matrix::from_vec(2, 2, vec![4.0, 1.0, 1.0, 3.0]);
         let ch = Cholesky::new(&a).unwrap();
         let det = 4.0 * 3.0 - 1.0;
-        assert!((ch.log_det() - (det as f64).ln()).abs() < 1e-12);
+        assert!((ch.log_det() - f64::ln(det)).abs() < 1e-12);
     }
 
     #[test]
@@ -320,7 +335,10 @@ mod tests {
     #[test]
     fn rejects_non_square() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(Cholesky::new(&a), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 
     #[test]
@@ -330,7 +348,7 @@ mod tests {
         let ch = Cholesky::with_jitter(&a, 1e-10, 1e-2).unwrap();
         assert!(ch.jitter() > 0.0);
         // Reconstruction equals A + jitter·I.
-        let r = ch.reconstruct();
+        let r = ch.reconstruct().unwrap();
         assert!((r[(0, 0)] - (1.0 + ch.jitter())).abs() < 1e-9);
         assert!((r[(0, 1)] - 1.0).abs() < 1e-9);
     }

@@ -161,6 +161,9 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
+                // Exact-zero sparsity skip: only a true +0.0/-0.0 may skip
+                // the row product, so an epsilon compare would be wrong.
+                #[allow(clippy::float_cmp)] // alint: allow(L2)
                 if a == 0.0 {
                     continue;
                 }
@@ -222,7 +225,12 @@ impl Matrix {
 
     /// Remove row `i`, shifting later rows up.
     pub fn remove_row(&mut self, i: usize) {
-        assert!(i < self.rows, "row {} out of bounds ({} rows)", i, self.rows);
+        assert!(
+            i < self.rows,
+            "row {} out of bounds ({} rows)",
+            i,
+            self.rows
+        );
         let start = i * self.cols;
         self.data.drain(start..start + self.cols);
         self.rows -= 1;
@@ -250,7 +258,10 @@ impl Matrix {
 
     /// Add `value` to every diagonal entry (in place). Requires square.
     pub fn add_diagonal(&mut self, value: f64) {
-        assert_eq!(self.rows, self.cols, "add_diagonal requires a square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "add_diagonal requires a square matrix"
+        );
         for i in 0..self.rows {
             self[(i, i)] += value;
         }

@@ -99,7 +99,9 @@ mod tests {
     #[test]
     fn log_normal_is_positive_and_centered() {
         let mut rng = StdRng::seed_from_u64(9);
-        let samples: Vec<f64> = (0..10_000).map(|_| log_normal(&mut rng, 0.0, 0.1)).collect();
+        let samples: Vec<f64> = (0..10_000)
+            .map(|_| log_normal(&mut rng, 0.0, 0.1))
+            .collect();
         assert!(samples.iter().all(|&x| x > 0.0));
         let logs: Vec<f64> = samples.iter().map(|x| x.ln()).collect();
         assert!(crate::stats::mean(&logs).abs() < 0.01);
@@ -131,7 +133,7 @@ mod tests {
     fn permutation_is_a_bijection() {
         let mut rng = StdRng::seed_from_u64(12);
         let p = permutation(&mut rng, 100);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &i in &p {
             assert!(!seen[i]);
             seen[i] = true;

@@ -32,7 +32,9 @@ pub fn quantile(v: &[f64], q: f64) -> f64 {
     }
     assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
     let mut sorted = v.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    // total_cmp orders NaNs to the end instead of panicking on them; a
+    // NaN-polluted input yields a NaN-adjacent quantile the caller can see.
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

@@ -4,6 +4,10 @@
 //!
 //! Run: `cargo run --release --example amr_viz`
 
+// Examples abort on failure by design; the panic-site lints target
+// library code (see alint L1).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use al_for_amr::amr::viz::{ascii_density, census_table};
 use al_for_amr::amr::{AmrSolver, SimulationConfig, SolverProfile};
 
@@ -25,7 +29,7 @@ fn main() {
     for frame in 0..=frames {
         let target = profile.t_final * frame as f64 / frames as f64;
         while solver.time() < target {
-            solver.step();
+            solver.step().expect("step");
         }
         println!(
             "--- t = {:.4} ({} steps, {} leaf patches) ---",

@@ -9,6 +9,10 @@
 //!
 //! Run: `cargo run --release --example inverse_problem`
 
+// Examples abort on failure by design; the panic-site lints target
+// library code (see alint L1).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use al_for_amr::amr::{run_simulation, MachineModel, SolverProfile};
 use al_for_amr::dataset::transform::unlog10_response;
 use al_for_amr::dataset::{generate_parallel, Dataset, GenerateOptions, SweepGrid};
@@ -34,18 +38,27 @@ fn main() {
             machine: MachineModel::default(),
             n_threads: 0,
         },
-    );
+    )
+    .expect("dataset generation");
     let dataset = Dataset::new(samples);
     let idx: Vec<usize> = (0..dataset.len()).collect();
 
     let fit = FitOptions::default();
     let mut gp_cost = GpModel::new(KernelKind::Rbf.build(0.3), 1e-3);
     gp_cost
-        .fit_optimized(&dataset.features_scaled(&idx), &dataset.log_cost(&idx), &fit)
+        .fit_optimized(
+            &dataset.features_scaled(&idx),
+            &dataset.log_cost(&idx),
+            &fit,
+        )
         .expect("cost fit");
     let mut gp_mem = GpModel::new(KernelKind::Rbf.build(0.3), 1e-3);
     gp_mem
-        .fit_optimized(&dataset.features_scaled(&idx), &dataset.log_memory(&idx), &fit)
+        .fit_optimized(
+            &dataset.features_scaled(&idx),
+            &dataset.log_memory(&idx),
+            &fit,
+        )
         .expect("memory fit");
 
     // Invert: scan every grid configuration, keep those whose pessimistic
@@ -106,7 +119,8 @@ fn main() {
     if let Some(&(best, _)) = affordable.first() {
         let config = candidates[best];
         println!("\nverifying the top recommendation by running it: {config:?}");
-        let outcome = run_simulation(&config, SolverProfile::smoke(), &MachineModel::default(), 0);
+        let outcome = run_simulation(&config, SolverProfile::smoke(), &MachineModel::default(), 0)
+            .expect("simulation");
         println!(
             "measured: cost {:.4} node-hours (budget {BUDGET}), memory {:.3} MB (limit {MEM_LIMIT})",
             outcome.cost_node_hours, outcome.memory_mb

@@ -7,6 +7,10 @@
 //!
 //! Run: `cargo run --release --example memory_aware_sweep`
 
+// Examples abort on failure by design; the panic-site lints target
+// library code (see alint L1).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use al_for_amr::al::{run_trajectory, AlOptions, StrategyKind};
 use al_for_amr::amr::{MachineModel, SolverProfile};
 use al_for_amr::dataset::{generate_parallel, Dataset, GenerateOptions, Partition, SweepGrid};
@@ -31,7 +35,8 @@ fn main() {
             machine: MachineModel::default(),
             n_threads: 0,
         },
-    );
+    )
+    .expect("dataset generation");
     let dataset = Dataset::new(samples);
 
     // Phase-2 memory limit: 80% quantile of log memory — a noticeably

@@ -5,6 +5,10 @@
 //!
 //! Run: `cargo run --release --example online_al`
 
+// Examples abort on failure by design; the panic-site lints target
+// library code (see alint L1).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use al_for_amr::amr::{run_simulation, MachineModel, SolverProfile};
 use al_for_amr::dataset::transform::log10_response;
 use al_for_amr::dataset::{FeatureScaler, SweepGrid};
@@ -25,12 +29,7 @@ fn main() {
     // Candidate pool: the small sweep grid (32 configurations).
     let grid = SweepGrid::small();
     let mut candidates = grid.all_configs();
-    let scaler = FeatureScaler::fit(
-        &candidates
-            .iter()
-            .map(|c| c.features())
-            .collect::<Vec<_>>(),
-    );
+    let scaler = FeatureScaler::fit(&candidates.iter().map(|c| c.features()).collect::<Vec<_>>());
     let machine = MachineModel::default();
     let profile = SolverProfile::smoke();
     let mut rng = StdRng::seed_from_u64(11);
@@ -39,7 +38,7 @@ fn main() {
     // "verify correctness on a new platform" first run).
     let first = candidates.remove(0);
     println!("bootstrap run: {first:?}");
-    let outcome = run_simulation(&first, profile, &machine, 0);
+    let outcome = run_simulation(&first, profile, &machine, 0).expect("simulation");
     let mut xs: Vec<[f64; 5]> = vec![scaler.transform(&first.features())];
     let mut log_costs = vec![log10_response(outcome.cost_node_hours)];
     let mut log_mems = vec![log10_response(outcome.memory_mb)];
@@ -91,7 +90,7 @@ fn main() {
         let config = candidates.remove(pick);
 
         // Run the actual simulation.
-        let outcome = run_simulation(&config, profile, &machine, 0);
+        let outcome = run_simulation(&config, profile, &machine, 0).expect("simulation");
         total_cost += outcome.cost_node_hours;
         let safe_actual = outcome.memory_mb < MEM_LIMIT_MB;
         println!(

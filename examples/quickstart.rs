@@ -3,6 +3,10 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
+// Examples abort on failure by design; the panic-site lints target
+// library code (see alint L1).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use al_for_amr::al::{run_trajectory, AlOptions, StrategyKind};
 use al_for_amr::amr::{MachineModel, SolverProfile};
 use al_for_amr::dataset::{generate_parallel, Dataset, GenerateOptions, Partition, SweepGrid};
@@ -21,7 +25,8 @@ fn main() {
             machine: MachineModel::default(),
             n_threads: 0,
         },
-    );
+    )
+    .expect("dataset generation");
     let dataset = Dataset::new(samples);
     println!(
         "dataset ready: {} samples, cost range [{:.4}, {:.4}] node-hours\n",

@@ -1,6 +1,16 @@
 //! Integration tests spanning the whole stack: AMR solver → machine model
 //! → dataset → GP models → active learning → metrics.
 
+// Integration tests run outside #[cfg(test)], so the in-tests carve-outs
+// from clippy.toml don't reach them; tests may panic and compare exact
+// copied floats freely.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use al_for_amr::al::{run_batch, run_trajectory, AlOptions, BatchSpec, StrategyKind};
 use al_for_amr::amr::{MachineModel, SolverProfile};
 use al_for_amr::dataset::{generate_parallel, Dataset, GenerateOptions, Partition, SweepGrid};
@@ -18,7 +28,8 @@ fn small_real_dataset() -> Dataset {
             machine: MachineModel::default(),
             n_threads: 0,
         },
-    );
+    )
+    .expect("dataset generation");
     Dataset::new(samples)
 }
 
@@ -77,18 +88,23 @@ fn rgma_beats_oblivious_strategies_on_regret() {
     // has a short tail, unlike the paper's 600-sample one).
     let mems: Vec<f64> = dataset.samples().iter().map(|s| s.memory_mb).collect();
     let lmem_log = al_for_amr::linalg::stats::quantile(&mems, 0.7).log10();
+    // Compare at an equal selection budget (paper Fig. 3 plots CR per
+    // iteration). Without a cap every strategy exhausts the 20-sample pool
+    // and final CR is order-independent — all strategies tie exactly.
     let opts = AlOptions {
         mem_limit_log: Some(lmem_log),
+        max_iterations: Some(12),
         ..fast_opts()
     };
     let spec = BatchSpec {
-        strategies: vec![
-            StrategyKind::RandUniform,
-            StrategyKind::Rgma { base: 10.0 },
-        ],
-        n_init: 6,
+        strategies: vec![StrategyKind::RandUniform, StrategyKind::Rgma { base: 10.0 }],
+        // Eight initial samples give the memory GP enough signal for its
+        // violation predictions to beat chance, and averaging eight
+        // trajectories keeps the comparison out of seed-noise territory on
+        // a dataset this small.
+        n_init: 8,
         n_test: 10,
-        n_trajectories: 3,
+        n_trajectories: 8,
         base_seed: 17,
         n_threads: 1,
     };

@@ -1,6 +1,16 @@
 //! Integration test: online AL against the live solver (no precomputed
 //! dataset), mirroring `examples/online_al.rs` with assertions.
 
+// Integration tests run outside #[cfg(test)], so the in-tests carve-outs
+// from clippy.toml don't reach them; tests may panic and compare exact
+// copied floats freely.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use al_for_amr::amr::{run_simulation, MachineModel, SolverProfile};
 use al_for_amr::dataset::transform::log10_response;
 use al_for_amr::dataset::{FeatureScaler, SweepGrid};
@@ -11,12 +21,7 @@ use al_for_amr::linalg::Matrix;
 fn online_al_loop_runs_and_improves() {
     let grid = SweepGrid::small();
     let mut candidates = grid.all_configs();
-    let scaler = FeatureScaler::fit(
-        &candidates
-            .iter()
-            .map(|c| c.features())
-            .collect::<Vec<_>>(),
-    );
+    let scaler = FeatureScaler::fit(&candidates.iter().map(|c| c.features()).collect::<Vec<_>>());
     let machine = MachineModel::default();
     let profile = SolverProfile::smoke();
 
@@ -26,7 +31,7 @@ fn online_al_loop_runs_and_improves() {
     let mut measured: Vec<(al_for_amr::amr::SimulationConfig, f64)> = Vec::new();
     for _ in 0..2 {
         let config = candidates.remove(0);
-        let outcome = run_simulation(&config, profile, &machine, 0);
+        let outcome = run_simulation(&config, profile, &machine, 0).expect("simulation");
         xs.push(scaler.transform(&config.features()));
         ys.push(log10_response(outcome.cost_node_hours));
         measured.push((config, outcome.cost_node_hours));
@@ -54,7 +59,7 @@ fn online_al_loop_runs_and_improves() {
             .expect("predict");
         let pick = al_for_amr::linalg::ops::argmax(&pred.std).expect("candidates remain");
         let config = candidates.remove(pick);
-        let outcome = run_simulation(&config, profile, &machine, 0);
+        let outcome = run_simulation(&config, profile, &machine, 0).expect("simulation");
         xs.push(scaler.transform(&config.features()));
         ys.push(log10_response(outcome.cost_node_hours));
         measured.push((config, outcome.cost_node_hours));

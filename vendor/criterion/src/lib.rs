@@ -1,0 +1,255 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-definition API this workspace's benches use
+//! (`benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, the `criterion_group!` /
+//! `criterion_main!` macros) with a simple wall-clock harness: per sample the
+//! closure is batched to ~`TARGET_BATCH_NS`, and the median over samples is
+//! reported as ns/iter (plus throughput when declared).
+//!
+//! No plots, no statistics beyond median/min/max, no baseline comparison —
+//! enough to detect order-of-magnitude regressions offline.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Aim each measured batch at ~5 ms so timer resolution is negligible.
+const TARGET_BATCH_NS: u128 = 5_000_000;
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Declared per-iteration work, used to report a rate next to the time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Measurement harness handed to each benchmark closure.
+pub struct Bencher {
+    /// Median ns per iteration of the most recent `iter` call.
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`: calibrate a batch size, then time `sample_size`
+    /// batches and keep the median/min/max ns-per-iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Calibration: grow the batch until it takes long enough to time.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t0.elapsed().as_nanos();
+            if elapsed >= TARGET_BATCH_NS || batch >= 1 << 20 {
+                break;
+            }
+            // Overshoot slightly so the measured batches stay >= target.
+            batch = match (batch as u128 * TARGET_BATCH_NS * 11 / 10).checked_div(elapsed) {
+                None => batch * 16,
+                Some(grown) => grown.max(batch as u128 + 1).min(1 << 20) as u64,
+            };
+        }
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+        self.min_ns = samples[0];
+        self.max_ns = samples[samples.len() - 1];
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timed batches per benchmark (upstream default is 100;
+    /// this harness defaults to 20 to keep `cargo bench` quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher {
+            median_ns: 0.0,
+            min_ns: 0.0,
+            max_ns: 0.0,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut line = format!(
+            "{}/{}  time: [{} .. {} .. {}]",
+            self.name,
+            id,
+            fmt_ns(bencher.min_ns),
+            fmt_ns(bencher.median_ns),
+            fmt_ns(bencher.max_ns),
+        );
+        if let Some(tp) = self.throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n as f64, "elem"),
+                Throughput::Bytes(n) => (n as f64, "B"),
+            };
+            if bencher.median_ns > 0.0 {
+                let rate = count * 1e9 / bencher.median_ns;
+                line.push_str(&format!("  thrpt: {rate:.3e} {unit}/s"));
+            }
+        }
+        println!("{line}");
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.run_one(&id, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.to_string();
+        self.run_one(&name, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver (one per `criterion_group!`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).run_one(&name, f);
+        self
+    }
+}
+
+/// Re-export for benches importing it from criterion rather than std.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut group = Criterion::default();
+        let mut group = group.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut captured = 0.0;
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            captured = b.median_ns;
+        });
+        assert!(captured > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("fit", 400).to_string(), "fit/400");
+        assert_eq!(BenchmarkId::from_parameter("rgma").to_string(), "rgma");
+    }
+}

@@ -1,0 +1,111 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` / `ScopedJoinHandle::join`
+//! are used by this workspace; they are implemented directly on top of
+//! `std::thread::scope` (stable since Rust 1.63), which provides the same
+//! borrow-the-stack guarantee.
+//!
+//! Behavioural difference from upstream: a panicking worker propagates the
+//! panic out of `scope` (std semantics) instead of surfacing it as an `Err`.
+//! Every call site in this workspace treats a worker panic as fatal, so the
+//! difference is unobservable.
+
+pub mod thread {
+    /// A scope handle mirroring `crossbeam::thread::Scope`.
+    ///
+    /// Upstream passes `&Scope` into every spawned closure (to allow nested
+    /// spawns), which is why the workspace's closures take a `|_|` argument.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Join handle mirroring `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the worker to finish; `Err` carries its panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker that may borrow from the enclosing scope. The
+        /// closure receives the scope itself (nested spawns), matching the
+        /// upstream signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let this = *self;
+            ScopedJoinHandle(self.inner.spawn(move || f(&this)))
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. All workers are joined
+    /// before this returns. Always `Ok` here (see module docs on panics).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_workers() {
+        let counter = AtomicUsize::new(0);
+        let result = super::thread::scope(|scope| {
+            for _ in 0..8 {
+                let counter = &counter;
+                scope.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert!(result.is_ok());
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn handles_return_values() {
+        let data = [1u64, 2, 3, 4];
+        let total = super::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker ok"))
+                .sum::<u64>()
+        })
+        .expect("scope ok");
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            let counter = &counter;
+            scope.spawn(move |inner| {
+                inner.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("scope ok");
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,524 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_filter` / `boxed`, range and tuple strategies, [`collection::vec`],
+//! [`array::uniform5`]-style fixed arrays, [`strategy::Just`],
+//! `prop_oneof!`, and the `proptest!` test-harness macro.
+//!
+//! Differences from upstream, deliberate for an offline environment:
+//! - **No shrinking.** A failing case reports its case number and seed so it
+//!   can be replayed (`PROPTEST_SEED`), but is not minimised.
+//! - `prop_assert!`/`prop_assert_eq!` panic instead of returning
+//!   `TestCaseError` — equivalent observable behaviour under `cargo test`.
+//! - Case count defaults to 64 (override with `PROPTEST_CASES`).
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SampleRange};
+
+    /// A generator of values of type `Value`.
+    ///
+    /// Object-safe: the only required method takes a concrete RNG, so
+    /// strategies can be boxed for heterogeneous unions (`prop_oneof!`).
+    pub trait Strategy {
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate an intermediate value, then a dependent strategy from it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Reject values failing `pred`. After 1000 straight rejections the
+        /// runner panics (upstream aborts the test case similarly).
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                pred,
+            }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter '{}' rejected 1000 consecutive values",
+                self.whence
+            );
+        }
+    }
+
+    /// Type-erased strategy (`Strategy::boxed`, `prop_oneof!`).
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !alternatives.is_empty(),
+                "prop_oneof! needs >= 1 alternative"
+            );
+            Union(alternatives)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let k = rng.random_range(0..self.0.len());
+            self.0[k].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample(rng)
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(f64, f32, usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Inclusive length bounds for [`vec`]: built from an exact `usize`, a
+    /// half-open `Range`, or a `RangeInclusive`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "vec size range is empty");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "vec size range is empty");
+            SizeRange { lo, hi }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod array {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy producing `[S::Value; N]` from a single element strategy.
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut StdRng) -> [S::Value; N] {
+            core::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    /// Generic fixed-size array strategy; `uniformN` helpers mirror upstream.
+    pub fn uniform<S: Strategy, const N: usize>(element: S) -> UniformArray<S, N> {
+        UniformArray(element)
+    }
+
+    macro_rules! uniform_n {
+        ($($fn_name:ident => $n:literal),*) => {$(
+            pub fn $fn_name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                UniformArray(element)
+            }
+        )*};
+    }
+
+    uniform_n!(
+        uniform1 => 1, uniform2 => 2, uniform3 => 3, uniform4 => 4,
+        uniform5 => 5, uniform6 => 6, uniform7 => 7, uniform8 => 8
+    );
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn env_u64(name: &str) -> Option<u64> {
+        std::env::var(name).ok()?.parse().ok()
+    }
+
+    thread_local! {
+        static REJECTED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    }
+
+    /// Called by `prop_assume!` before it early-returns out of the case body.
+    pub fn note_rejection() {
+        REJECTED.with(|r| r.set(true));
+    }
+
+    fn take_rejection() -> bool {
+        REJECTED.with(|r| r.replace(false))
+    }
+
+    /// Execute `case` repeatedly with fresh deterministically seeded RNGs.
+    ///
+    /// The per-test seed stream is a hash of the test name (stable across
+    /// runs) mixed with the case index; `PROPTEST_CASES` overrides the case
+    /// count and `PROPTEST_SEED` replays a single reported case.
+    pub fn run<F: Fn(&mut StdRng)>(name: &str, case: F) {
+        if let Some(seed) = env_u64("PROPTEST_SEED") {
+            let mut rng = StdRng::seed_from_u64(seed);
+            case(&mut rng);
+            return;
+        }
+        let cases = env_u64("PROPTEST_CASES").unwrap_or(64);
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        let base = hasher.finish();
+        // Rejected cases (prop_assume!) are retried with fresh seeds, up to
+        // an upstream-style global cap that keeps vacuous tests from passing.
+        let max_rejects = 1024u64;
+        let mut rejects = 0u64;
+        let mut accepted = 0u64;
+        let mut k = 0u64;
+        while accepted < cases {
+            let seed = base ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            k += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+            if let Err(payload) = outcome {
+                eprintln!(
+                    "proptest '{name}': failed at case {accepted}/{cases}; \
+                     replay with PROPTEST_SEED={seed}"
+                );
+                std::panic::resume_unwind(payload);
+            }
+            if take_rejection() {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "proptest '{name}': {max_rejects} prop_assume! rejections \
+                     — the strategy rarely satisfies the assumption"
+                );
+            } else {
+                accepted += 1;
+            }
+        }
+    }
+}
+
+/// Define property tests: `proptest! { #[test] fn name(x in strat, ..) { .. } }`.
+///
+/// Unlike upstream there is no shrinking; assertion macros panic directly.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __strategies = ($($strat,)+);
+            $crate::test_runner::run(stringify!($name), |__rng| {
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&__strategies, __rng);
+                $body
+            });
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// `prop_assume!`: skip (not fail) the current case when `cond` is false.
+///
+/// Expands to an early `return` out of the case closure, so it is only valid
+/// directly inside a `proptest!` body — same restriction as upstream.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            $crate::test_runner::note_rejection();
+            return;
+        }
+    };
+}
+
+/// `prop_assert!`: assert within a property test (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `prop_assert_eq!`: equality assertion within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `prop_assert_ne!`: inequality assertion within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Upstream's `prelude::prop` module alias: `prop::collection::vec`,
+    /// `prop::array::uniform5`, ...
+    pub mod prop {
+        pub use crate::{array, collection, strategy};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, Vec<f64>)> {
+        (1usize..5).prop_flat_map(|n| (Just(n), crate::collection::vec(-1.0f64..1.0, n)))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.0f64..3.0, k in 1usize..=4) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((1..=4).contains(&k));
+        }
+
+        #[test]
+        fn flat_map_links_length(p in pair()) {
+            prop_assert_eq!(p.0, p.1.len());
+        }
+
+        #[test]
+        fn vec_and_array_sizes(
+            v in crate::collection::vec(0u32..10, 2..6),
+            a in prop::array::uniform5(0.0f64..1.0),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert_eq!(a.len(), 5);
+        }
+
+        #[test]
+        fn oneof_hits_every_alternative(picks in crate::collection::vec(
+            prop_oneof![Just(0u8), Just(1u8), Just(2u8)], 64))
+        {
+            for p in &picks {
+                prop_assert!(*p <= 2);
+            }
+        }
+
+        #[test]
+        fn filter_rejects(x in (0i32..100).prop_filter("even", |x| x % 2 == 0)) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn map_applies(y in (1u32..10).prop_map(|x| x * 2)) {
+            prop_assert!((2..20).contains(&y));
+            prop_assert_eq!(y % 2, 0);
+        }
+    }
+}
