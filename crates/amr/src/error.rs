@@ -1,15 +1,18 @@
 //! Error type for the AMR forest and solver.
 
+use crate::solver::TruncationReason;
 use crate::tree::PatchKey;
 use std::fmt;
 
-/// Broken structural invariants surfaced by forest operations.
+/// Failures surfaced by forest operations and simulation runs.
 ///
-/// These conditions mean the 2:1-balanced quadtree has lost a leaf or a
-/// flux register it was guaranteed to have — a logic error in regridding
-/// or balance enforcement. They are reported as typed errors rather than
-/// panics so a long parameter sweep can record the failed configuration
-/// and continue with the remaining jobs.
+/// The structural variants mean the 2:1-balanced quadtree has lost a leaf
+/// or a flux register it was guaranteed to have — a logic error in
+/// regridding or balance enforcement. [`AmrError::Truncated`] means a run
+/// stopped meaningfully short of its configured end time, so its work
+/// counters describe a partial burst. All are reported as typed errors
+/// rather than panics so a long parameter sweep can record the failed
+/// configuration and continue with the remaining jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AmrError {
     /// A leaf patch expected at `key` was absent from the forest.
@@ -17,6 +20,14 @@ pub enum AmrError {
     /// A fine-level flux register expected at `key` was absent during
     /// refluxing, violating the 2:1 balance guarantee.
     MissingFluxRegister(PatchKey),
+    /// The run stopped before `t_final`; recording its counters as a
+    /// completed job would corrupt the dataset's cost surface.
+    Truncated {
+        /// Why the run stopped early.
+        reason: TruncationReason,
+        /// Coarse steps completed before stopping.
+        steps: u64,
+    },
 }
 
 impl fmt::Display for AmrError {
@@ -31,6 +42,10 @@ impl fmt::Display for AmrError {
             AmrError::MissingFluxRegister((l, i, j)) => write!(
                 f,
                 "reflux invariant broken: no flux register at level {l}, patch ({i}, {j})"
+            ),
+            AmrError::Truncated { reason, steps } => write!(
+                f,
+                "simulation truncated before t_final after {steps} steps: {reason}"
             ),
         }
     }
@@ -49,5 +64,17 @@ mod tests {
         assert!(e.to_string().contains("(3, 4)"));
         let e = AmrError::MissingFluxRegister((1, 0, 0));
         assert!(e.to_string().contains("flux register"));
+    }
+
+    #[test]
+    fn truncation_display_names_reason_and_steps() {
+        let e = AmrError::Truncated {
+            reason: TruncationReason::MaxSteps,
+            steps: 200_000,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("truncated"), "{msg}");
+        assert!(msg.contains("200000"), "{msg}");
+        assert!(msg.contains("step cap"), "{msg}");
     }
 }

@@ -38,4 +38,4 @@ pub use error::AmrError;
 pub use machine::{MachineModel, MachineOutcome};
 pub use runner::{run_simulation, SimulationOutcome};
 pub use shockbubble::SimulationConfig;
-pub use solver::{AmrSolver, SolverProfile, WorkStats};
+pub use solver::{AmrSolver, SolverProfile, TimeStepping, TruncationReason, WorkStats};

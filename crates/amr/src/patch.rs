@@ -54,6 +54,34 @@ pub struct BoundaryFluxes {
     pub hi: Vec<State>,
 }
 
+impl BoundaryFluxes {
+    /// Zeroed registers for `mx` transverse faces — the accumulator the
+    /// subcycled stepper folds per-substep fluxes into.
+    pub fn zeros(mx: usize) -> Self {
+        BoundaryFluxes {
+            lo: vec![[0.0; NVAR]; mx],
+            hi: vec![[0.0; NVAR]; mx],
+        }
+    }
+
+    /// Accumulate `weight · other` face-wise. With weight `dt_sub / dt`
+    /// per substep this builds the time-averaged flux a coarse step must
+    /// be corrected against (two halved substeps ⇒ weight ½ each).
+    pub fn add_scaled(&mut self, other: &BoundaryFluxes, weight: f64) {
+        debug_assert_eq!(self.lo.len(), other.lo.len());
+        for (dst, src) in self.lo.iter_mut().zip(&other.lo) {
+            for k in 0..NVAR {
+                dst[k] += weight * src[k];
+            }
+        }
+        for (dst, src) in self.hi.iter_mut().zip(&other.hi) {
+            for k in 0..NVAR {
+                dst[k] += weight * src[k];
+            }
+        }
+    }
+}
+
 impl Patch {
     /// Create a zero-initialized patch at quadtree position `(level, i, j)`.
     ///

@@ -28,6 +28,10 @@ pub struct SimulationOutcome {
 /// realization: the same `(config, repeat)` pair always reproduces the
 /// same responses, while different repeats model run-to-run variability.
 ///
+/// A run that stops short of `t_final` (step cap, collapsed dt) returns
+/// [`AmrError::Truncated`] instead of an outcome: a partial burst priced
+/// as a completed job would silently corrupt the dataset's cost surface.
+///
 /// # Examples
 ///
 /// ```
@@ -50,6 +54,12 @@ pub fn run_simulation(
 ) -> Result<SimulationOutcome, AmrError> {
     let mut solver = AmrSolver::new(config, profile);
     let work = solver.run()?;
+    if let Some(reason) = work.truncation {
+        return Err(AmrError::Truncated {
+            reason,
+            steps: work.steps,
+        });
+    }
     let seed = config
         .stable_hash()
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -101,6 +111,25 @@ mod tests {
         assert!(o.wall_seconds > 0.0);
         assert!(o.memory_mb > 0.0);
         assert!((o.cost_node_hours - o.wall_seconds * o.config.p as f64 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_run_is_an_error_not_an_outcome() {
+        let m = MachineModel::default();
+        // A horizon far beyond what two steps can cover forces the cap.
+        let profile = SolverProfile {
+            t_final: 0.05,
+            max_steps: 2,
+            ..SolverProfile::smoke()
+        };
+        let err = run_simulation(&config(), profile, &m, 0).unwrap_err();
+        match err {
+            AmrError::Truncated { reason, steps } => {
+                assert_eq!(reason, crate::solver::TruncationReason::MaxSteps);
+                assert_eq!(steps, 2);
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,18 +1,54 @@
-//! Level-synchronous AMR time integration with work accounting.
+//! AMR time integration with work accounting, in two stepping modes.
 //!
-//! The solver advances every leaf with the global CFL time step (all levels
-//! in lockstep — simpler than subcycling, and conservative in the sense that
-//! counted work is an upper bound per coarse cell), refilling ghost layers
-//! before each directional sweep and regridding on a fixed cadence. Every
-//! unit of work the machine model later converts into wall-clock time and
-//! memory is counted here: cell updates, ghost-exchange volume, regrids and
+//! [`TimeStepping::LevelSynchronous`] advances every leaf with the global
+//! (finest-level) CFL step — simple, but coarse patches take many more
+//! steps than their own CFL condition requires. [`TimeStepping::Subcycled`]
+//! implements Berger–Oliger level subcycling: each refinement level ℓ
+//! advances with its own step `dt_ℓ = dt_coarse / 2^(ℓ − ℓ_min)` in the
+//! recursive order *coarse step → two fine sub-steps → reflux*, with fine
+//! ghost bands at coarse–fine interfaces filled by time-interpolated
+//! prolongation. Both modes refill ghost layers before each directional
+//! sweep and regrid on a fixed cadence. Every unit of work the machine
+//! model later converts into wall-clock time and memory is counted here:
+//! cell updates, per-level advances, ghost-exchange volume, regrids and
 //! the peak number of resident cells.
 
 use crate::error::AmrError;
-use crate::patch::SweepScratch;
+use crate::patch::{BoundaryFluxes, Patch, SweepScratch};
 use crate::refine::RefinementCriteria;
 use crate::shockbubble::SimulationConfig;
-use crate::tree::{Axis, Bc, Forest};
+use crate::tree::{Axis, Bc, Forest, PatchKey};
+use std::collections::BTreeMap;
+
+/// How the forest's refinement levels advance in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeStepping {
+    /// All levels advance in lockstep with the finest level's CFL step.
+    LevelSynchronous,
+    /// Berger–Oliger subcycling: level ℓ takes `2^(ℓ − ℓ_min)` halved
+    /// steps per coarse step, cutting redundant coarse-level updates.
+    Subcycled,
+}
+
+/// Why a run stopped short of `t_final` (surfaced via
+/// [`WorkStats::truncation`] so sweeps never mistake a truncated burst
+/// for a completed job).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruncationReason {
+    /// The `max_steps` safety cap was reached.
+    MaxSteps,
+    /// The CFL step collapsed to zero or a non-finite value.
+    TimeStepCollapse,
+}
+
+impl std::fmt::Display for TruncationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TruncationReason::MaxSteps => write!(f, "step cap reached"),
+            TruncationReason::TimeStepCollapse => write!(f, "time step collapsed"),
+        }
+    }
+}
 
 /// Numerical profile controlling how long and how accurately to simulate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +69,9 @@ pub struct SolverProfile {
     /// Apply flux-register corrections at coarse–fine interfaces after
     /// each sweep (restores discrete conservation; small extra cost).
     pub reflux: bool,
+    /// Time-integration mode (level-synchronous or Berger–Oliger
+    /// subcycled).
+    pub time_stepping: TimeStepping,
 }
 
 impl SolverProfile {
@@ -50,6 +89,7 @@ impl SolverProfile {
             minlevel: 2,
             max_steps: 200_000,
             reflux: true,
+            time_stepping: TimeStepping::Subcycled,
         }
     }
 
@@ -62,7 +102,10 @@ impl SolverProfile {
         }
     }
 
-    /// Tiny profile for unit/integration tests.
+    /// Tiny profile for unit/integration tests. Stays level-synchronous:
+    /// several tests pin the lockstep work-counting contract (e.g. step
+    /// counts growing with `maxlevel`), and the mode keeps a second
+    /// integration path exercised in every suite run.
     pub fn smoke() -> Self {
         SolverProfile {
             t_final: 0.001,
@@ -72,6 +115,7 @@ impl SolverProfile {
             criteria: RefinementCriteria::default(),
             max_steps: 200_000,
             reflux: true,
+            time_stepping: TimeStepping::LevelSynchronous,
         }
     }
 }
@@ -79,8 +123,14 @@ impl SolverProfile {
 /// Work performed by a simulation — the machine model's input.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WorkStats {
-    /// Time steps taken.
+    /// Coarse (global) time steps taken.
     pub steps: u64,
+    /// Per-level advances summed over all levels: the number of
+    /// synchronization rounds a parallel run would execute. Equals
+    /// `steps` under [`TimeStepping::LevelSynchronous`]; larger under
+    /// [`TimeStepping::Subcycled`], where level ℓ contributes
+    /// `2^(ℓ − ℓ_min)` advances per coarse step.
+    pub level_steps: u64,
     /// Directional cell updates (one cell, one sweep).
     pub cell_updates: u64,
     /// Ghost cells exchanged between patches (communication volume).
@@ -99,6 +149,16 @@ pub struct WorkStats {
     pub peak_leaves: u64,
     /// Simulated time actually reached.
     pub final_time: f64,
+    /// `Some` when the run stopped meaningfully short of `t_final`
+    /// (step cap, collapsed dt); `None` for a completed run.
+    pub truncation: Option<TruncationReason>,
+}
+
+impl WorkStats {
+    /// Whether the run stopped short of its configured end time.
+    pub fn truncated(&self) -> bool {
+        self.truncation.is_some()
+    }
 }
 
 /// Driver owning the forest, boundary conditions and counters.
@@ -110,6 +170,44 @@ pub struct AmrSolver {
     time: f64,
     stats: WorkStats,
     scratch: SweepScratch,
+    /// Per-level substep counters (indexed by level) driving the
+    /// alternating x/y sweep order under subcycling; level ℓ alternates
+    /// on its own cadence so a uniform forest reproduces the
+    /// level-synchronous sweep sequence exactly.
+    level_substeps: Vec<u64>,
+}
+
+/// Per-axis boundary-flux registers recorded while a level advances,
+/// handed up the recursion for refluxing against the parent level.
+struct LevelFluxes {
+    x: BTreeMap<PatchKey, BoundaryFluxes>,
+    y: BTreeMap<PatchKey, BoundaryFluxes>,
+}
+
+impl LevelFluxes {
+    fn new() -> Self {
+        LevelFluxes {
+            x: BTreeMap::new(),
+            y: BTreeMap::new(),
+        }
+    }
+}
+
+/// Merge the time-average of two fine sub-step register maps (weight 1/2
+/// each, matching `dt_fine = dt_coarse / 2`) into `into`.
+fn merge_time_averaged(
+    into: &mut BTreeMap<PatchKey, BoundaryFluxes>,
+    first: &BTreeMap<PatchKey, BoundaryFluxes>,
+    second: &BTreeMap<PatchKey, BoundaryFluxes>,
+) {
+    for (key, fluxes) in first {
+        let mut avg = BoundaryFluxes::zeros(fluxes.lo.len());
+        avg.add_scaled(fluxes, 0.5);
+        if let Some(other) = second.get(key) {
+            avg.add_scaled(other, 0.5);
+        }
+        into.insert(*key, avg);
+    }
 }
 
 impl AmrSolver {
@@ -153,6 +251,7 @@ impl AmrSolver {
             time: 0.0,
             stats,
             scratch: SweepScratch::default(),
+            level_substeps: Vec::new(),
         }
     }
 
@@ -171,24 +270,42 @@ impl AmrSolver {
         &self.forest
     }
 
-    /// Advance one global time step (ghost fill → x sweep → ghost fill →
-    /// y sweep, alternating the sweep order every step for second-order
-    /// splitting symmetry). Returns the `dt` taken, or [`AmrError`] if the
-    /// forest's structural invariants are broken.
+    /// Advance one coarse time step in the profile's stepping mode.
+    /// Returns the `dt` taken, or [`AmrError`] if the forest's structural
+    /// invariants are broken.
     pub fn step(&mut self) -> Result<f64, AmrError> {
+        match self.profile.time_stepping {
+            TimeStepping::LevelSynchronous => self.step_synchronous(),
+            TimeStepping::Subcycled => self.step_subcycled(),
+        }
+    }
+
+    /// Level-synchronous step: every leaf advances with the finest-level
+    /// CFL step (ghost fill → x sweep → ghost fill → y sweep, alternating
+    /// the sweep order every step for second-order splitting symmetry).
+    fn step_synchronous(&mut self) -> Result<f64, AmrError> {
         let mut dt = self.forest.cfl_dt(self.profile.cfl);
         // Do not overshoot the end time.
         if self.time + dt > self.profile.t_final {
             dt = self.profile.t_final - self.time;
         }
+        self.advance_all_levels_lockstep(dt)?;
+        self.time += dt;
+        self.finish_step();
+        Ok(dt)
+    }
 
+    /// One lockstep advance of every leaf by `dt`: the level-synchronous
+    /// step body, also used by the subcycled mode for a final clamped
+    /// step too small to be worth a subcycle hierarchy.
+    fn advance_all_levels_lockstep(&mut self, dt: f64) -> Result<(), AmrError> {
         let x_first = self.stats.steps.is_multiple_of(2);
         for half in 0..2 {
             let ex = self.forest.fill_ghosts(&self.bc)?;
             self.stats.ghost_cells += ex.exchanged();
             self.stats.boundary_cells += ex.boundary_cells;
             let sweep_x = (half == 0) == x_first;
-            let mut registers = std::collections::BTreeMap::new();
+            let mut registers = BTreeMap::new();
             for key in self.forest.leaf_keys() {
                 let patch = self.forest.get_mut(key).ok_or(AmrError::MissingLeaf(key))?;
                 let fluxes = if sweep_x {
@@ -206,8 +323,125 @@ impl AmrSolver {
             }
             self.stats.cell_updates += self.forest.total_interior_cells();
         }
+        self.stats.level_steps += 1;
+        Ok(())
+    }
+
+    /// Berger–Oliger step: the coarsest populated level takes one step at
+    /// its own CFL limit and each finer level recursively takes two halved
+    /// sub-steps, refluxing against its parent after the pair completes.
+    fn step_subcycled(&mut self) -> Result<f64, AmrError> {
+        let coarsest = self.forest.coarsest_level();
+        let finest = self.forest.finest_level();
+        let mut dt = self.forest.cfl_dt_subcycled(self.profile.cfl, coarsest);
+        // Do not overshoot the end time.
+        if self.time + dt > self.profile.t_final {
+            dt = self.profile.t_final - self.time;
+        }
+
+        if dt < self.forest.cfl_dt(self.profile.cfl) {
+            // The end-time clamp shrank dt below even the finest level's
+            // CFL step; a single lockstep advance is both stable and
+            // strictly cheaper than recursing through 2^ℓ sub-steps of an
+            // already-tiny dt.
+            self.advance_all_levels_lockstep(dt)?;
+        } else {
+            let mut snapshots: Vec<BTreeMap<PatchKey, Patch>> =
+                vec![BTreeMap::new(); finest as usize + 1];
+            self.advance_level(coarsest, finest, dt, 0.0, &mut snapshots)?;
+        }
 
         self.time += dt;
+        self.finish_step();
+        Ok(dt)
+    }
+
+    /// Advance every leaf on `level` by `dt` (two directional sweeps),
+    /// then recurse into `level + 1` for two sub-steps of `dt / 2` and
+    /// reflux this level's coarse–fine faces with the time-averaged fine
+    /// fluxes. `theta0` locates this step's start within the parent's
+    /// step interval (0 for the first sub-step, 1/2 for the second) and
+    /// drives time interpolation of coarse ghost data; `snapshots[ℓ]`
+    /// holds pre-step copies of the interface patches of level ℓ.
+    /// Returns this level's boundary-flux registers for the caller.
+    fn advance_level(
+        &mut self,
+        level: u8,
+        finest: u8,
+        dt: f64,
+        theta0: f64,
+        snapshots: &mut Vec<BTreeMap<PatchKey, Patch>>,
+    ) -> Result<LevelFluxes, AmrError> {
+        // Snapshot coarse–fine interface patches before this level moves
+        // so the finer level can interpolate its ghost bands in time
+        // across [t, t + dt].
+        if level < finest {
+            snapshots[level as usize] = self.forest.snapshot_interface_patches(level);
+        }
+        if self.level_substeps.len() <= level as usize {
+            self.level_substeps.resize(level as usize + 1, 0);
+        }
+
+        let keys = self.forest.leaf_keys_at(level);
+        let interior = self.forest.interior_cells_at(level);
+        let x_first = self.level_substeps[level as usize].is_multiple_of(2);
+        let mut fluxes = LevelFluxes::new();
+        let no_parent = BTreeMap::new();
+
+        for half in 0..2 {
+            let parent_old = match level as usize {
+                0 => &no_parent,
+                l => &snapshots[l - 1],
+            };
+            let ex = self
+                .forest
+                .fill_ghosts_level(level, &self.bc, parent_old, theta0)?;
+            self.stats.ghost_cells += ex.exchanged();
+            self.stats.boundary_cells += ex.boundary_cells;
+            let sweep_x = (half == 0) == x_first;
+            for &key in &keys {
+                let patch = self.forest.get_mut(key).ok_or(AmrError::MissingLeaf(key))?;
+                let f = if sweep_x {
+                    patch.sweep_x(dt, &mut self.scratch)
+                } else {
+                    patch.sweep_y(dt, &mut self.scratch)
+                };
+                if self.profile.reflux {
+                    if sweep_x {
+                        fluxes.x.insert(key, f);
+                    } else {
+                        fluxes.y.insert(key, f);
+                    }
+                }
+            }
+            self.stats.cell_updates += interior;
+        }
+        self.level_substeps[level as usize] += 1;
+        self.stats.level_steps += 1;
+
+        if level < finest {
+            let half_dt = 0.5 * dt;
+            let sub0 = self.advance_level(level + 1, finest, half_dt, 0.0, snapshots)?;
+            let sub1 = self.advance_level(level + 1, finest, half_dt, 0.5, snapshots)?;
+            if self.profile.reflux {
+                let mut regs_x = fluxes.x.clone();
+                let mut regs_y = fluxes.y.clone();
+                merge_time_averaged(&mut regs_x, &sub0.x, &sub1.x);
+                merge_time_averaged(&mut regs_y, &sub0.y, &sub1.y);
+                self.stats.reflux_faces +=
+                    self.forest
+                        .reflux_level(Axis::X, &regs_x, dt, Some(level))?;
+                self.stats.reflux_faces +=
+                    self.forest
+                        .reflux_level(Axis::Y, &regs_y, dt, Some(level))?;
+            }
+        }
+        Ok(fluxes)
+    }
+
+    /// Bookkeeping shared by both stepping modes after the coarse step's
+    /// time advance: step counters and the regrid cadence.
+    fn finish_step(&mut self) {
         self.stats.steps += 1;
         self.stats.final_time = self.time;
 
@@ -228,14 +462,30 @@ impl AmrSolver {
                 .max(self.forest.total_storage_cells());
             self.stats.peak_leaves = self.stats.peak_leaves.max(self.forest.n_leaves() as u64);
         }
-        Ok(dt)
     }
 
-    /// Run until `t_final` (or the step cap). Returns the final counters.
+    /// Whether the simulation has reached `t_final` up to floating-point
+    /// round-off from clamped final steps.
+    fn completed(&self) -> bool {
+        self.profile.t_final - self.time <= 1e-12 * self.profile.t_final.abs()
+    }
+
+    /// Run until `t_final` (or the step cap). Returns the final counters;
+    /// a stop meaningfully short of `t_final` is recorded in
+    /// [`WorkStats::truncation`] rather than silently reported as complete.
     pub fn run(&mut self) -> Result<WorkStats, AmrError> {
-        while self.time < self.profile.t_final && self.stats.steps < self.profile.max_steps {
+        while self.time < self.profile.t_final {
+            if self.stats.steps >= self.profile.max_steps {
+                if !self.completed() {
+                    self.stats.truncation = Some(TruncationReason::MaxSteps);
+                }
+                break;
+            }
             let dt = self.step()?;
             if dt <= 0.0 || !dt.is_finite() {
+                if !self.completed() {
+                    self.stats.truncation = Some(TruncationReason::TimeStepCollapse);
+                }
                 break;
             }
         }
@@ -382,5 +632,60 @@ mod tests {
     fn profiles_are_ordered_by_cost() {
         assert!(SolverProfile::smoke().t_final < SolverProfile::fast().t_final);
         assert!(SolverProfile::fast().t_final < SolverProfile::paper().t_final);
+    }
+
+    #[test]
+    fn dataset_profiles_default_to_subcycling() {
+        assert_eq!(
+            SolverProfile::paper().time_stepping,
+            TimeStepping::Subcycled
+        );
+        assert_eq!(SolverProfile::fast().time_stepping, TimeStepping::Subcycled);
+        assert_eq!(
+            SolverProfile::smoke().time_stepping,
+            TimeStepping::LevelSynchronous
+        );
+    }
+
+    #[test]
+    fn completed_run_reports_no_truncation() {
+        let mut solver = AmrSolver::new(&tiny_config(), SolverProfile::smoke());
+        let stats = solver.run().expect("run");
+        assert_eq!(stats.truncation, None);
+        assert!(!stats.truncated());
+    }
+
+    #[test]
+    fn step_cap_sets_truncation_reason() {
+        let profile = SolverProfile {
+            t_final: 1.0,
+            max_steps: 3,
+            ..SolverProfile::smoke()
+        };
+        let mut solver = AmrSolver::new(&tiny_config(), profile);
+        let stats = solver.run().expect("run");
+        assert_eq!(stats.truncation, Some(TruncationReason::MaxSteps));
+        assert!(stats.truncated());
+        assert_eq!(stats.steps, 3);
+        assert!(stats.final_time < 1.0);
+    }
+
+    #[test]
+    fn subcycled_run_reaches_t_final_with_more_level_steps() {
+        let profile = SolverProfile {
+            t_final: 0.005,
+            time_stepping: TimeStepping::Subcycled,
+            ..SolverProfile::smoke()
+        };
+        let mut solver = AmrSolver::new(&tiny_config(), profile);
+        let stats = solver.run().expect("run");
+        assert!(stats.truncation.is_none());
+        assert!((stats.final_time - 0.005).abs() < 1e-12);
+        assert!(
+            stats.level_steps > stats.steps,
+            "multi-level hierarchy must take per-level sub-steps: {} vs {}",
+            stats.level_steps,
+            stats.steps
+        );
     }
 }

@@ -165,6 +165,40 @@ impl Forest {
         self.leaves.keys().copied().collect()
     }
 
+    /// Snapshot of the leaf keys at one refinement level, in deterministic
+    /// order (the per-level iteration unit of Berger–Oliger subcycling).
+    pub fn leaf_keys_at(&self, level: u8) -> Vec<PatchKey> {
+        self.leaves
+            .keys()
+            .filter(|(l, _, _)| *l == level)
+            .copied()
+            .collect()
+    }
+
+    /// Coarsest populated level (equals `minlevel` unless regridding has
+    /// eliminated every coarse leaf).
+    pub fn coarsest_level(&self) -> u8 {
+        self.leaves
+            .keys()
+            .map(|(l, _, _)| *l)
+            .min()
+            .unwrap_or(self.minlevel)
+    }
+
+    /// Finest populated level.
+    pub fn finest_level(&self) -> u8 {
+        self.leaves
+            .keys()
+            .map(|(l, _, _)| *l)
+            .max()
+            .unwrap_or(self.minlevel)
+    }
+
+    /// Interior cells over the leaves of one level.
+    pub fn interior_cells_at(&self, level: u8) -> u64 {
+        (self.leaf_keys_at(level).len() * self.mx * self.mx) as u64
+    }
+
     /// Borrow a leaf patch.
     pub fn get(&self, key: PatchKey) -> Option<&Patch> {
         self.leaves.get(&key)
@@ -226,6 +260,22 @@ impl Forest {
             * cfl
     }
 
+    /// Coarse-level CFL step for Berger–Oliger subcycling: the largest
+    /// `dt` such that level ℓ, advancing with `dt / 2^(ℓ − base)`, still
+    /// satisfies its own CFL condition. For uniform wave speeds this
+    /// equals the base level's CFL step (cell width doubles per coarser
+    /// level, exactly cancelling the halved substep).
+    pub fn cfl_dt_subcycled(&self, cfl: f64, base: u8) -> f64 {
+        self.leaves
+            .iter()
+            .map(|((level, _, _), p)| {
+                let refinements = level.saturating_sub(base) as i32;
+                2f64.powi(refinements) * p.h() / p.max_wave_speed().max(1e-12)
+            })
+            .fold(f64::INFINITY, f64::min)
+            * cfl
+    }
+
     /// Fill every interior cell of every leaf from a pointwise function.
     pub fn fill_all(&mut self, f: &dyn Fn(f64, f64) -> State) {
         for patch in self.leaves.values_mut() {
@@ -244,12 +294,38 @@ impl Forest {
     /// Returns communication-volume statistics for the machine model, or
     /// [`AmrError`] if a leaf guaranteed by 2:1 balance is missing.
     pub fn fill_ghosts(&mut self, bc: &Bc) -> Result<ExchangeStats, AmrError> {
+        self.fill_ghost_set(&self.leaf_keys(), bc, None)
+    }
+
+    /// Fill the ghost bands of the leaves at one refinement level only —
+    /// the subcycled stepper's per-level exchange. `coarse_old` holds
+    /// pre-step copies of the coarser patches bordering this level and
+    /// `theta ∈ [0, 1]` the position of this level's substep within the
+    /// coarse step: coarse→fine prolongation samples the linear
+    /// interpolation `(1−θ)·old + θ·new` so fine ghosts see the coarse
+    /// solution at the matching intermediate time.
+    pub fn fill_ghosts_level(
+        &mut self,
+        level: u8,
+        bc: &Bc,
+        coarse_old: &BTreeMap<PatchKey, Patch>,
+        theta: f64,
+    ) -> Result<ExchangeStats, AmrError> {
+        self.fill_ghost_set(&self.leaf_keys_at(level), bc, Some((coarse_old, theta)))
+    }
+
+    fn fill_ghost_set(
+        &mut self,
+        keys: &[PatchKey],
+        bc: &Bc,
+        interp: Option<(&BTreeMap<PatchKey, Patch>, f64)>,
+    ) -> Result<ExchangeStats, AmrError> {
         let mut stats = ExchangeStats::default();
-        for key in self.leaf_keys() {
+        for &key in keys {
             // Take the patch out so we can read neighbours immutably.
             let mut patch = self.leaves.remove(&key).ok_or(AmrError::MissingLeaf(key))?;
             for side in Side::ALL {
-                if let Err(e) = self.fill_side(&mut patch, key, side, bc, &mut stats) {
+                if let Err(e) = self.fill_side(&mut patch, key, side, bc, interp, &mut stats) {
                     // Put the patch back so the forest stays structurally
                     // intact for post-mortem inspection.
                     self.leaves.insert(key, patch);
@@ -267,6 +343,7 @@ impl Forest {
         key: PatchKey,
         side: Side,
         bc: &Bc,
+        interp: Option<(&BTreeMap<PatchKey, Patch>, f64)>,
         stats: &mut ExchangeStats,
     ) -> Result<(), AmrError> {
         let (level, i, j) = key;
@@ -295,7 +372,9 @@ impl Forest {
         let parent = (level - 1, (ni / 2) as u32, (nj / 2) as u32);
         if level > 0 {
             if let Some(nb) = self.leaves.get(&parent) {
-                self.prolong_from_coarse(patch, key, nb, side);
+                let old = interp
+                    .and_then(|(snapshots, theta)| snapshots.get(&parent).map(|p| (p, theta)));
+                self.prolong_from_coarse(patch, key, nb, old, side);
                 stats.prolonged_cells += band;
                 return Ok(());
             }
@@ -348,8 +427,18 @@ impl Forest {
 
     /// Coarse→fine ghost fill: piecewise-constant sampling of the coarse
     /// neighbour's interior (first-order at the interface, standard for a
-    /// performance-focused substrate).
-    fn prolong_from_coarse(&self, patch: &mut Patch, key: PatchKey, nb: &Patch, side: Side) {
+    /// performance-focused substrate). When `old` carries the neighbour's
+    /// pre-step copy and a time fraction `θ`, the sampled value is the
+    /// linear interpolation `(1−θ)·old + θ·new` — the time-interpolated
+    /// ghost fill subcycled fine levels need at coarse–fine interfaces.
+    fn prolong_from_coarse(
+        &self,
+        patch: &mut Patch,
+        key: PatchKey,
+        nb: &Patch,
+        old: Option<(&Patch, f64)>,
+        side: Side,
+    ) {
         let (xr, yr) = self.ghost_band(side);
         let (nb_level, nb_i, nb_j) = (nb.level(), nb.coords().0, nb.coords().1);
         debug_assert_eq!(nb_level, key.0 - 1);
@@ -359,7 +448,14 @@ impl Forest {
                 // Coordinates at the coarse level are halved.
                 let cgx = (gx.div_euclid(2) - nb_i as i64 * self.mx as i64) as usize;
                 let cgy = (gy.div_euclid(2) - nb_j as i64 * self.mx as i64) as usize;
-                *patch.get_mut(ix, iy) = *nb.interior(cgx, cgy);
+                let mut value = *nb.interior(cgx, cgy);
+                if let Some((prev, theta)) = old {
+                    let before = prev.interior(cgx, cgy);
+                    for k in 0..NVAR {
+                        value[k] = (1.0 - theta) * before[k] + theta * value[k];
+                    }
+                }
+                *patch.get_mut(ix, iy) = value;
             }
         }
     }
@@ -424,6 +520,20 @@ impl Forest {
         registers: &BTreeMap<PatchKey, BoundaryFluxes>,
         dt: f64,
     ) -> Result<u64, AmrError> {
+        self.reflux_level(axis, registers, dt, None)
+    }
+
+    /// [`Forest::reflux`] restricted to the coarse leaves of one level —
+    /// the subcycled stepper refluxes each coarse–fine level pair on its
+    /// own cadence, with `registers` holding only that pair's fluxes
+    /// (coarse sweep fluxes plus the fine level's substep-averaged ones).
+    pub fn reflux_level(
+        &mut self,
+        axis: Axis,
+        registers: &BTreeMap<PatchKey, BoundaryFluxes>,
+        dt: f64,
+        only_level: Option<u8>,
+    ) -> Result<u64, AmrError> {
         let sides: [Side; 2] = match axis {
             Axis::X => [Side::West, Side::East],
             Axis::Y => [Side::South, Side::North],
@@ -432,6 +542,9 @@ impl Forest {
         let mut corrected = 0u64;
         for key in self.leaf_keys() {
             let (level, i, j) = key;
+            if only_level.is_some_and(|l| l != level) {
+                continue;
+            }
             for side in sides {
                 if self.neighbor_level(key, side) != Some(level + 1) {
                     continue;
@@ -492,6 +605,26 @@ impl Forest {
             }
         }
         Ok(corrected)
+    }
+
+    /// Pre-step copies of the level-`level` leaves that border a finer
+    /// face neighbour — the interpolation sources for the fine level's
+    /// time-interpolated ghost fill. Only interface patches are cloned,
+    /// keeping the subcycling scratch footprint proportional to the
+    /// coarse–fine interface rather than the whole level.
+    pub fn snapshot_interface_patches(&self, level: u8) -> BTreeMap<PatchKey, Patch> {
+        let mut snapshots = BTreeMap::new();
+        for key in self.leaf_keys_at(level) {
+            let borders_finer = Side::ALL
+                .iter()
+                .any(|&side| self.neighbor_level(key, side) == Some(level + 1));
+            if borders_finer {
+                if let Some(patch) = self.leaves.get(&key) {
+                    snapshots.insert(key, patch.clone());
+                }
+            }
+        }
+        snapshots
     }
 
     // ------------------------------------------------------------------

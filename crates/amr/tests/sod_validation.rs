@@ -12,9 +12,11 @@
     clippy::needless_range_loop
 )]
 
-use al_amr_sim::euler::conservative;
+use al_amr_sim::euler::{conservative, State};
 use al_amr_sim::exact_riemann::{ExactRiemann, Primitive1d};
+use al_amr_sim::problem::Problem;
 use al_amr_sim::tree::{Bc, Forest};
+use al_amr_sim::{AmrSolver, SolverProfile, TimeStepping};
 
 /// Advance a uniform (single-level) forest holding the Sod problem to
 /// time `t_final`; returns the forest and the actual time reached.
@@ -96,6 +98,49 @@ fn sod_profile_matches_exact_solution() {
     // Undisturbed left state behind the rarefaction head.
     let num = forest.sample_density(0.02, 0.5);
     assert!((num - 1.0).abs() < 1e-3, "left plateau {num}");
+}
+
+/// The Sod shock tube as a [`Problem`], so the full adaptive solver
+/// (refinement around the discontinuities, refluxing, either stepping
+/// mode) can be validated against the exact solution.
+struct SodProblem;
+
+impl Problem for SodProblem {
+    fn name(&self) -> &'static str {
+        "sod"
+    }
+
+    fn initial_state(&self, x: f64, _y: f64) -> State {
+        if x < 0.5 {
+            conservative(1.0, 0.0, 0.0, 1.0)
+        } else {
+            conservative(0.125, 0.0, 0.0, 0.1)
+        }
+    }
+
+    fn boundary_conditions(&self) -> Bc {
+        Bc::all_extrapolate()
+    }
+}
+
+#[test]
+fn adaptive_sod_matches_exact_in_both_stepping_modes() {
+    let t_final = 0.12;
+    for mode in [TimeStepping::LevelSynchronous, TimeStepping::Subcycled] {
+        let profile = SolverProfile {
+            t_final,
+            minlevel: 2,
+            time_stepping: mode,
+            ..SolverProfile::smoke()
+        };
+        let mut solver = AmrSolver::with_problem(&SodProblem, 16, 4, profile);
+        let stats = solver.run().expect("run");
+        assert!(stats.truncation.is_none(), "{mode:?} truncated: {stats:?}");
+        assert!((stats.final_time - t_final).abs() < 1e-12);
+
+        let err = density_l1_error(solver.forest(), t_final, 200);
+        assert!(err < 0.02, "{mode:?}: L1 density error {err}");
+    }
 }
 
 #[test]

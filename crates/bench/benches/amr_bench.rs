@@ -8,7 +8,7 @@ use std::hint::black_box;
 use al_amr_sim::euler::conservative;
 use al_amr_sim::patch::{Patch, Side, SweepScratch};
 use al_amr_sim::tree::{Bc, Forest};
-use al_amr_sim::{AmrSolver, SimulationConfig, SolverProfile};
+use al_amr_sim::{AmrSolver, SimulationConfig, SolverProfile, TimeStepping};
 
 fn filled_patch(mx: usize) -> Patch {
     let mut p = Patch::new(0, 0, 0, mx);
@@ -85,6 +85,18 @@ fn bench_solver_step(c: &mut Criterion) {
     };
     group.bench_function("ml4_mx16", |b| {
         let mut solver = AmrSolver::new(&config, SolverProfile::smoke());
+        b.iter(|| black_box(solver.step()));
+    });
+    // Same hierarchy under Berger–Oliger subcycling: one "step" here is a
+    // full coarse step (the entire recursive hierarchy), so compare
+    // per-simulated-second throughput rather than raw step times.
+    group.bench_function("ml4_mx16_subcycled", |b| {
+        let profile = SolverProfile {
+            t_final: f64::INFINITY,
+            time_stepping: TimeStepping::Subcycled,
+            ..SolverProfile::smoke()
+        };
+        let mut solver = AmrSolver::new(&config, profile);
         b.iter(|| black_box(solver.step()));
     });
     group.finish();

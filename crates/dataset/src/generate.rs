@@ -28,7 +28,9 @@ impl Default for GenerateOptions {
 }
 
 /// Run every `(config, repeat)` job and return samples in job order, or
-/// the first [`AmrError`] any simulation reported.
+/// the first [`AmrError`] any simulation reported — including
+/// [`AmrError::Truncated`] for a run that stopped short of its horizon,
+/// so a partial burst can never be recorded as a completed measurement.
 ///
 /// Work is distributed dynamically via an atomic cursor so the expensive
 /// tail (deep `maxlevel`, large `mx`) does not serialize behind one thread.
@@ -130,6 +132,27 @@ mod tests {
             assert_eq!(sample.config, *config);
             assert!(sample.cost_node_hours > 0.0);
         }
+    }
+
+    #[test]
+    fn truncated_simulation_fails_generation() {
+        let jobs = SweepGrid::small().draw_jobs(3, 0, 7);
+        // A horizon no two steps can reach turns every job into a
+        // truncated burst, which must surface as an error rather than a
+        // silently-short dataset.
+        let opts = GenerateOptions {
+            profile: SolverProfile {
+                t_final: 1.0,
+                max_steps: 2,
+                ..SolverProfile::smoke()
+            },
+            ..smoke_opts(2)
+        };
+        let err = generate_parallel(&jobs, &opts).unwrap_err();
+        assert!(
+            matches!(err, AmrError::Truncated { .. }),
+            "expected truncation error, got {err:?}"
+        );
     }
 
     #[test]

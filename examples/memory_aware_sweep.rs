@@ -39,9 +39,12 @@ fn main() {
     .expect("dataset generation");
     let dataset = Dataset::new(samples);
 
-    // Phase-2 memory limit: 80% quantile of log memory — a noticeably
-    // smaller machine than phase 1 ran on.
-    let lmem_log = dataset.memory_limit_log(0.8);
+    // Phase-2 memory limit: the 85th percentile of the measured memory
+    // distribution, so ~15% of the pool genuinely exceeds it. (The older
+    // `memory_limit_log(0.8)` — 80% of the *max* log memory — landed
+    // above every sample on this short-tailed pool, excluding 0 jobs and
+    // collapsing both strategies to an uninformative 0-regret tie.)
+    let lmem_log = dataset.memory_limit_log_percentile(0.85);
     let lmem_raw = 10f64.powf(lmem_log);
     let n_over = dataset
         .samples()
@@ -53,6 +56,11 @@ fn main() {
         dataset.len(),
         lmem_raw,
         n_over
+    );
+    assert!(
+        n_over * 20 >= dataset.len(),
+        "phase-2 limit must exclude ≥5% of the pool, got {n_over}/{}",
+        dataset.len()
     );
 
     let mut rng = StdRng::seed_from_u64(123);
@@ -66,6 +74,7 @@ fn main() {
         "{:<14} {:>10} {:>12} {:>12} {:>10} {:>14}",
         "strategy", "iterations", "total cost", "regret (CR)", "crashes", "final RMSE"
     );
+    let mut regrets = Vec::new();
     for kind in [
         StrategyKind::RandGoodness { base: 10.0 },
         StrategyKind::Rgma { base: 10.0 },
@@ -80,9 +89,19 @@ fn main() {
             t.violations(),
             t.records.last().map(|r| r.rmse_cost).unwrap_or(f64::NAN)
         );
+        regrets.push(t.total_regret());
     }
+    let gap = regrets[0] - regrets[1];
     println!(
-        "\nRGMA should show far lower cumulative regret (wasted node-hours on\n\
-         crashed jobs) at comparable model quality."
+        "\nRGMA saves {gap:.3} node-hours of cumulative regret (wasted cost on\n\
+         crashed jobs) over memory-oblivious RandGoodness."
+    );
+    // Guard the experiment's point: a 0-vs-0 regret tie means the derived
+    // limit excluded nothing and the comparison shows nothing.
+    assert!(
+        gap > 0.0,
+        "memory-aware advantage vanished: RandGoodness regret {} vs RGMA {}",
+        regrets[0],
+        regrets[1]
     );
 }
