@@ -285,18 +285,87 @@ fn l1_panic_sites(
     }
 }
 
+/// Variables bound with an explicit float type ascription —
+/// `let [mut] name: [&[mut]] (f64 | f32) = …` — outside test regions.
+/// Names that also carry a *non-float* ascription anywhere in the file
+/// (shadowing, reuse across functions) are dropped: without real scopes
+/// the pass cannot tell which binding a later use refers to, and a false
+/// positive on an integer comparison would be worse than staying quiet.
+/// Unascribed `let name = …` bindings are not tracked at all — they carry
+/// no type evidence either way.
+fn float_ascribed_vars(tokens: &[Token], in_test: &[bool]) -> BTreeSet<String> {
+    let mut float_names = BTreeSet::new();
+    let mut nonfloat_names = BTreeSet::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if in_test[i] || tokens[i].kind != TokenKind::Ident || tokens[i].text != "let" {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|t| t.text == "mut") {
+            j += 1;
+        }
+        // Only simple `IDENT :` bindings — destructuring patterns bind
+        // through the *inner* types and are left to clippy.
+        let Some(name) = tokens.get(j).filter(|t| t.kind == TokenKind::Ident) else {
+            i = j;
+            continue;
+        };
+        if tokens.get(j + 1).map(|t| t.text.as_str()) != Some(":") {
+            i = j + 1;
+            continue;
+        }
+        // The ascribed type: tokens up to the initializer `=` or the `;`
+        // of an uninitialized binding, nesting-aware so `Vec<f64>` or
+        // tuple types never read as a bare scalar.
+        let mut k = j + 2;
+        let mut depth = 0i64;
+        let mut ty: Vec<&Token> = Vec::new();
+        while let Some(token) = tokens.get(k) {
+            match token.text.as_str() {
+                "<" | "(" | "[" => depth += 1,
+                ">" | ")" | "]" => depth -= 1,
+                "=" | ";" if depth <= 0 => break,
+                _ => {}
+            }
+            ty.push(token);
+            k += 1;
+        }
+        // Strip reference layers; what remains must be exactly the scalar.
+        let scalar: Vec<&str> = ty
+            .iter()
+            .filter(|t| !(t.text == "&" || t.text == "mut" || t.kind == TokenKind::Lifetime))
+            .map(|t| t.text.as_str())
+            .collect();
+        if scalar == ["f64"] || scalar == ["f32"] {
+            float_names.insert(name.text.clone());
+        } else {
+            nonfloat_names.insert(name.text.clone());
+        }
+        i = k;
+    }
+    for name in &nonfloat_names {
+        float_names.remove(name);
+    }
+    float_names
+}
+
 /// L2: `==` / `!=` with a floating-point side.
 ///
 /// Without type inference the pass flags comparisons where either operand's
 /// adjacent token chain is *manifestly* float: a float literal, an `f64`/
-/// `f32` path, `NAN`/`INFINITY`/`EPSILON` consts, or a call to a
-/// float-returning method. `a == b` on opaque identifiers is not flagged —
-/// clippy's `float_cmp` covers the typed cases.
+/// `f32` path, `NAN`/`INFINITY`/`EPSILON` consts, a call to a
+/// float-returning method, or a variable the file ascribes a float type
+/// via `let` (see [`float_ascribed_vars`]). Opaque `a == b` on fn
+/// parameters is still not flagged — clippy's `float_cmp` covers the
+/// remaining typed cases.
 fn l2_float_cmp(
     tokens: &[Token],
     in_test: &[bool],
     push: &mut impl FnMut(&'static str, u32, String),
 ) {
+    let ascribed = float_ascribed_vars(tokens, in_test);
     let is_floaty_at = |idx: usize| -> bool {
         let Some(token) = tokens.get(idx) else {
             return false;
@@ -308,6 +377,9 @@ fn l2_float_cmp(
                     token.text.as_str(),
                     "f64" | "f32" | "NAN" | "INFINITY" | "NEG_INFINITY" | "EPSILON"
                 ) || FLOAT_METHODS.contains(&token.text.as_str())
+                    || (ascribed.contains(&token.text)
+                        // A following `(` means a call, not the variable.
+                        && tokens.get(idx + 1).map(|t| t.text.as_str()) != Some("("))
             }
             _ => false,
         }
@@ -678,6 +750,59 @@ mod tests {
         // Opaque floats are clippy's job (it has types); we stay quiet.
         let src = "fn f(a: f64, b: f64) -> bool { a == b }";
         assert!(run(src, all_scopes()).iter().all(|d| d.lint != "L2"));
+    }
+
+    #[test]
+    fn l2_tracks_let_float_ascriptions() {
+        let src = r#"
+            fn f(a: f64, b: f64) -> bool {
+                let t: f64 = a * b;
+                let r: &f64 = &t;
+                t == 1.0e0 || t != b || r == &a
+            }
+        "#;
+        // `t == 1.0e0` is manifest; `t != b` and `r == &a` are caught only
+        // via the ascriptions.
+        let diags = run(src, all_scopes());
+        assert_eq!(
+            diags.iter().filter(|d| d.lint == "L2").count(),
+            3,
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn l2_ascription_tracking_skips_shadowed_and_nonscalar_types() {
+        let src = r#"
+            fn f(xs: Vec<f64>, n: usize) -> bool {
+                let count: usize = xs.len();
+                let v: Vec<f64> = xs;
+                count == n && v.len() == n
+            }
+            fn g() -> bool {
+                let k: f64 = 1.5;
+                true
+            }
+            fn h(k: usize, n: usize) -> bool {
+                let k: usize = k + 1;
+                k == n
+            }
+        "#;
+        // `k` holds a float in g() but a usize in h(): the ambiguous name
+        // is dropped, and `Vec<f64>`/`usize` ascriptions never register.
+        let diags = run(src, all_scopes());
+        assert!(diags.iter().all(|d| d.lint != "L2"), "{diags:?}");
+    }
+
+    #[test]
+    fn l2_ascriptions_inside_test_items_do_not_leak() {
+        let src = r#"
+            #[cfg(test)]
+            fn t() { let q: f64 = 0.5; }
+            fn f(q: usize, n: usize) -> bool { q == n }
+        "#;
+        let diags = run(src, all_scopes());
+        assert!(diags.iter().all(|d| d.lint != "L2"), "{diags:?}");
     }
 
     #[test]

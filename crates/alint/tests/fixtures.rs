@@ -71,6 +71,26 @@ fn l2_clean_fixture_is_silent_under_every_lint() {
 }
 
 #[test]
+fn l2_flags_ascribed_float_variables() {
+    let diags = lint_fixture("l2_ascription_violations.rs", only(|s| s.float_cmp = true));
+    assert_eq!(diags.len(), 3, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.lint == "L2"), "{diags:#?}");
+    // `t == b`, `lo != hi`, `r == &a`: every comparison is opaque to the
+    // manifest-evidence window and only the `let` ascriptions reveal it.
+    assert_eq!(
+        diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+        vec![10, 13, 17],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn l2_ascription_clean_fixture_is_silent_under_every_lint() {
+    let diags = lint_fixture("l2_ascription_clean.rs", all_scopes());
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
 fn l2_markers_suppress_by_id_and_by_name() {
     let diags = lint_fixture("l2_suppressed.rs", only(|s| s.float_cmp = true));
     assert_eq!(diags.len(), 1, "{diags:#?}");

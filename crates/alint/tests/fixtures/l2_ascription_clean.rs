@@ -1,0 +1,27 @@
+//! Fixture: `let` ascriptions that must NOT trigger L2 — integer
+//! ascriptions, non-scalar float containers, names with conflicting
+//! (shadowed) ascriptions, and float variables used without comparison.
+
+pub fn checks(xs: Vec<f64>, n: usize) -> usize {
+    let count: usize = xs.len();
+    let data: Vec<f64> = xs;
+    let total: f64 = data.iter().sum();
+    let scaled = total * 2.0;
+    if count == n && data.len() == n {
+        count
+    } else {
+        scaled.to_bits() as usize
+    }
+}
+
+pub fn first(k: f64) -> f64 {
+    let k: f64 = k + 1.0;
+    k
+}
+
+pub fn second(k: usize, n: usize) -> bool {
+    // Same name as the float in `first`: the ambiguous ascription is
+    // dropped, so this integer comparison stays silent.
+    let k: usize = k + 1;
+    k == n
+}

@@ -1,0 +1,21 @@
+//! Fixture: float comparisons visible only through `let` type
+//! ascriptions — no manifestly-float token sits in the comparison window.
+
+pub fn checks(a: f64, b: f64) -> u32 {
+    let t: f64 = a * b;
+    let mut lo: f32 = (a - b) as f32;
+    let hi: f32 = lo + 1.5;
+    lo += hi;
+    let mut hits = 0;
+    if t == b {
+        hits += 1;
+    }
+    if lo != hi {
+        hits += 1;
+    }
+    let r: &f64 = &t;
+    if r == &a {
+        hits += 1;
+    }
+    hits
+}

@@ -18,6 +18,16 @@
 //! variability". Constants are calibrated so the 600-sample sweep matches
 //! Table I's ranges in order of magnitude (cost ratio max/min ≳ 10³,
 //! memory ∈ [~0.02, ~33] MB); a unit test pins the calibration.
+//!
+//! **Counted work vs. host wall-clock.** The model prices the *simulated*
+//! machine: its parallelism is the `p` Edison nodes in the input
+//! configuration, and its inputs are the order-invariant counters in
+//! [`WorkStats`]. The host-side sweep-pool threading
+//! ([`SolverProfile::n_threads`](crate::solver::SolverProfile)) only
+//! shortens how long we wait for those counters to be produced — it must
+//! never appear in them, and the parallel-sweeps determinism suite pins
+//! exactly that. A host run on 8 threads therefore predicts the same
+//! Edison wall-clock, cost and MaxRSS as the same run on 1 thread.
 
 use crate::solver::WorkStats;
 use al_linalg::rng::noise_factor;

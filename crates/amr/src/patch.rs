@@ -139,6 +139,15 @@ impl Patch {
         (self.mx + 2 * NG) * (self.mx + 2 * NG)
     }
 
+    /// Interior cells of this patch — the directional-sweep work unit the
+    /// machine model prices. Counted per patch so the parallel sweep pool
+    /// can tally work exactly as the serial loop did (threading changes
+    /// wall-clock, never counted work).
+    #[inline]
+    pub fn interior_cell_count(&self) -> u64 {
+        (self.mx * self.mx) as u64
+    }
+
     #[inline]
     fn stride(&self) -> usize {
         self.mx + 2 * NG

@@ -1,0 +1,340 @@
+//! Within-level parallel sweep engine.
+//!
+//! The patches of one refinement level are embarrassingly parallel during a
+//! directional sweep: each [`Patch::sweep_x`]/[`Patch::sweep_y`] reads only
+//! its own cells (ghost bands were filled *before* the sweep) and writes
+//! only its own interior. What is **not** order-free is everything that
+//! aggregates across patches — flux registers fed to refluxing and the
+//! work counters the machine model prices. [`SweepPool`] therefore splits
+//! the work like FLASH/FORESTCLAW split a level across MPI ranks, but with
+//! one extra guarantee the paper's reproducibility study leans on:
+//!
+//! **Ordered reduction.** Every worker writes each patch's
+//! [`BoundaryFluxes`] and cell-update count into an index-addressed slot of
+//! a results buffer; the coordinating thread then folds the buffer in
+//! ascending patch order. Because no floating-point value ever crosses a
+//! thread boundary in a schedule-dependent order, the final state, the flux
+//! registers and the [`WorkStats`](crate::solver::WorkStats) are **bitwise
+//! identical for any thread count, including 1** — `data/dataset.csv` can
+//! never silently change because a run used more cores.
+//!
+//! The pool itself is a small persistent object: it owns the resolved
+//! worker count and one [`SweepScratch`] per worker (reused across every
+//! sweep of the run), and spawns borrowing workers per sweep via
+//! [`std::thread::scope`] — no channels, no locks, no new dependencies.
+//! With one worker (or a level too small to be worth splitting) the sweep
+//! runs inline on the coordinating thread, which is exactly the pre-pool
+//! serial loop.
+
+use crate::patch::{BoundaryFluxes, Patch, SweepScratch};
+use crate::tree::{Axis, PatchKey};
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Minimum patches per worker chunk. Spawning a thread costs tens of
+/// microseconds — about the price of sweeping a handful of small patches —
+/// so levels with fewer patches than this per worker engage fewer workers.
+/// The value only shapes the schedule, never the results (ordered
+/// reduction makes every schedule produce identical bits).
+pub const MIN_CHUNK: usize = 4;
+
+/// Partition `0..n_items` into at most `max_chunks` contiguous, non-empty,
+/// ascending ranges of at least `min_per_chunk` items each (except when
+/// fewer than `min_per_chunk` items exist in total, which yields one
+/// undersized chunk). Every index is covered exactly once; `n_items == 0`
+/// yields no chunks. Degenerate inputs (`max_chunks == 0`,
+/// `min_per_chunk == 0`, more chunks than items) are clamped rather than
+/// rejected, since callers feed it raw thread counts and level sizes.
+pub fn chunk_ranges(n_items: usize, max_chunks: usize, min_per_chunk: usize) -> Vec<Range<usize>> {
+    if n_items == 0 {
+        return Vec::new();
+    }
+    let min_per_chunk = min_per_chunk.max(1);
+    // Floor division so `chunks · min_per_chunk ≤ n_items`: every chunk of
+    // the near-even split below then holds at least `min_per_chunk` items.
+    let chunks = max_chunks.clamp(1, (n_items / min_per_chunk).max(1));
+    let base = n_items / chunks;
+    let extra = n_items % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// What one pooled sweep produced, already reduced in patch order.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// `(key, boundary fluxes)` per swept patch, in ascending key order —
+    /// the reflux registers of this sweep.
+    pub registers: Vec<(PatchKey, BoundaryFluxes)>,
+    /// Directional cell updates performed (one per interior cell per
+    /// patch) — identical to the serial count, threading is not work.
+    pub cells_updated: u64,
+}
+
+/// Persistent worker pool advancing the patches of a level in parallel.
+///
+/// See the module docs for the determinism contract. The pool resolves its
+/// thread count once at construction (`0` = all cores reported by
+/// [`std::thread::available_parallelism`]) and keeps one scratch buffer per
+/// worker alive across sweeps.
+#[derive(Debug, Clone)]
+pub struct SweepPool {
+    n_workers: usize,
+    scratch: Vec<SweepScratch>,
+}
+
+impl SweepPool {
+    /// Build a pool with `n_threads` workers; `0` resolves to all
+    /// available cores (falling back to 1 if the platform cannot say).
+    pub fn new(n_threads: usize) -> Self {
+        let n_workers = if n_threads == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            n_threads
+        };
+        SweepPool {
+            n_workers,
+            scratch: vec![SweepScratch::default(); n_workers],
+        }
+    }
+
+    /// Resolved worker count (never 0).
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Sweep every patch of `patches` in direction `axis` with time step
+    /// `dt`, in parallel chunks, and reduce the per-patch results in patch
+    /// order. `patches` must already be in the deterministic (ascending
+    /// key) order [`Forest::patches_mut`](crate::tree::Forest::patches_mut)
+    /// produces; the returned registers preserve that order.
+    pub fn sweep(
+        &mut self,
+        axis: Axis,
+        dt: f64,
+        patches: &mut [(PatchKey, &mut Patch)],
+    ) -> SweepOutcome {
+        let n = patches.len();
+        let ranges = chunk_ranges(n, self.n_workers, MIN_CHUNK);
+
+        if ranges.len() <= 1 {
+            // Inline serial path: byte-for-byte the pre-pool solver loop —
+            // ascending key order, one scratch buffer reused across
+            // patches. `n_threads = 1` always lands here.
+            let scratch = self.scratch.first_mut();
+            let mut registers = Vec::with_capacity(n);
+            let mut cells_updated = 0u64;
+            if let Some(scratch) = scratch {
+                for (key, patch) in patches.iter_mut() {
+                    registers.push((*key, sweep_one(patch, axis, dt, scratch)));
+                    cells_updated += patch.interior_cell_count();
+                }
+            }
+            return SweepOutcome {
+                registers,
+                cells_updated,
+            };
+        }
+
+        // Index-addressed results buffer: worker w fills exactly the slots
+        // of its chunk, so slot i always holds patch i's fluxes no matter
+        // which worker ran it or when it finished.
+        let mut results: Vec<Option<BoundaryFluxes>> = Vec::new();
+        results.resize_with(n, || None);
+        if self.scratch.len() < ranges.len() {
+            self.scratch.resize(ranges.len(), SweepScratch::default());
+        }
+
+        std::thread::scope(|scope| {
+            let mut patch_tail: &mut [(PatchKey, &mut Patch)] = patches;
+            let mut result_tail: &mut [Option<BoundaryFluxes>] = &mut results;
+            let mut scratches = self.scratch.iter_mut();
+            let mut coordinator_job = None;
+            for (c, range) in ranges.iter().enumerate() {
+                let len = range.len();
+                let (chunk, rest) = std::mem::take(&mut patch_tail).split_at_mut(len);
+                patch_tail = rest;
+                let (out, rest) = std::mem::take(&mut result_tail).split_at_mut(len);
+                result_tail = rest;
+                let Some(scratch) = scratches.next() else {
+                    // Unreachable: scratch was resized to ranges.len().
+                    break;
+                };
+                if c == 0 {
+                    // The coordinating thread works too: one fewer spawn,
+                    // and a 2-worker sweep costs a single thread launch.
+                    coordinator_job = Some((chunk, out, scratch));
+                } else {
+                    scope.spawn(move || sweep_chunk(chunk, out, axis, dt, scratch));
+                }
+            }
+            if let Some((chunk, out, scratch)) = coordinator_job {
+                sweep_chunk(chunk, out, axis, dt, scratch);
+            }
+        });
+
+        // Ordered reduction on the coordinating thread: fold the buffer in
+        // ascending patch order, the only step that crosses chunks.
+        let mut registers = Vec::with_capacity(n);
+        let mut cells_updated = 0u64;
+        for ((key, patch), slot) in patches.iter().zip(results) {
+            debug_assert!(slot.is_some(), "sweep chunk skipped patch {key:?}");
+            if let Some(fluxes) = slot {
+                registers.push((*key, fluxes));
+                cells_updated += patch.interior_cell_count();
+            }
+        }
+        SweepOutcome {
+            registers,
+            cells_updated,
+        }
+    }
+}
+
+/// One worker's share: sweep each patch of the chunk, writing the fluxes
+/// into the chunk's slots of the results buffer.
+fn sweep_chunk(
+    chunk: &mut [(PatchKey, &mut Patch)],
+    out: &mut [Option<BoundaryFluxes>],
+    axis: Axis,
+    dt: f64,
+    scratch: &mut SweepScratch,
+) {
+    for ((_, patch), slot) in chunk.iter_mut().zip(out.iter_mut()) {
+        *slot = Some(sweep_one(patch, axis, dt, scratch));
+    }
+}
+
+fn sweep_one(patch: &mut Patch, axis: Axis, dt: f64, scratch: &mut SweepScratch) -> BoundaryFluxes {
+    match axis {
+        Axis::X => patch.sweep_x(dt, scratch),
+        Axis::Y => patch.sweep_y(dt, scratch),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euler::{conservative, NVAR};
+    use crate::tree::Forest;
+
+    #[test]
+    fn chunk_ranges_split_evenly() {
+        assert_eq!(chunk_ranges(10, 2, 1), vec![0..5, 5..10]);
+        assert_eq!(chunk_ranges(7, 3, 1), vec![0..3, 3..5, 5..7]);
+        assert_eq!(chunk_ranges(0, 4, 1), Vec::<Range<usize>>::new());
+        // More workers than items: one chunk per item at most.
+        assert_eq!(chunk_ranges(2, 8, 1), vec![0..1, 1..2]);
+    }
+
+    #[test]
+    fn chunk_ranges_honour_min_per_chunk() {
+        // 10 items, min 4: only 2 chunks fit a 4-item floor.
+        let ranges = chunk_ranges(10, 8, 4);
+        assert_eq!(ranges, vec![0..5, 5..10]);
+        // Fewer items than the minimum: one undersized chunk.
+        assert_eq!(chunk_ranges(3, 8, 4), vec![0..3]);
+        // Degenerate hints are clamped, not rejected.
+        assert_eq!(chunk_ranges(5, 0, 0), vec![0..5]);
+    }
+
+    #[test]
+    fn pool_resolves_zero_to_at_least_one_worker() {
+        assert!(SweepPool::new(0).n_workers() >= 1);
+        assert_eq!(SweepPool::new(3).n_workers(), 3);
+    }
+
+    /// A refined forest with non-trivial dynamics for sweep comparisons.
+    fn bump_forest() -> Forest {
+        let mut f = Forest::uniform(8, 1, 2);
+        f.refine_patch((1, 0, 0));
+        f.enforce_balance();
+        f.fill_all(&|x, y| {
+            let r2 = (x - 0.4) * (x - 0.4) + (y - 0.45) * (y - 0.45);
+            let amp = 1.5 * (-r2 / 0.02).exp();
+            conservative(1.0 + amp, 0.1, -0.05, 1.0 + amp)
+        });
+        f.fill_ghosts(&crate::tree::Bc::all_extrapolate())
+            .expect("ghost fill");
+        f
+    }
+
+    #[test]
+    fn pooled_sweep_is_bitwise_identical_across_worker_counts() {
+        let dt = 1e-4;
+        let reference = {
+            let mut f = bump_forest();
+            let mut pool = SweepPool::new(1);
+            let mut patches = f.patches_mut(None);
+            let outcome = pool.sweep(Axis::X, dt, &mut patches);
+            (f, outcome)
+        };
+        for workers in [2usize, 3, 7] {
+            let mut f = bump_forest();
+            let mut pool = SweepPool::new(workers);
+            // Defeat MIN_CHUNK so multiple workers actually engage.
+            let ranges = chunk_ranges(f.n_leaves(), workers, 1);
+            assert!(workers == 1 || ranges.len() > 1 || f.n_leaves() < 2);
+            let outcome = {
+                let mut patches = f.patches_mut(None);
+                pool.sweep(Axis::X, dt, &mut patches)
+            };
+            assert_eq!(outcome.cells_updated, reference.1.cells_updated);
+            assert_eq!(outcome.registers.len(), reference.1.registers.len());
+            for (a, b) in outcome.registers.iter().zip(&reference.1.registers) {
+                assert_eq!(a.0, b.0, "register order must be patch order");
+                for (fa, fb) in
+                    a.1.lo
+                        .iter()
+                        .chain(&a.1.hi)
+                        .zip(b.1.lo.iter().chain(&b.1.hi))
+                {
+                    for k in 0..NVAR {
+                        assert_eq!(fa[k].to_bits(), fb[k].to_bits());
+                    }
+                }
+            }
+            for (key, patch) in f.iter() {
+                let ref_patch = reference.0.get(*key).expect("same leaves");
+                for cy in 0..patch.mx() {
+                    for cx in 0..patch.mx() {
+                        for k in 0..NVAR {
+                            assert_eq!(
+                                patch.interior(cx, cy)[k].to_bits(),
+                                ref_patch.interior(cx, cy)[k].to_bits(),
+                                "{key:?} cell ({cx},{cy}) var {k} with {workers} workers"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_counts_cells_like_the_forest() {
+        let mut f = bump_forest();
+        let expected = f.total_interior_cells();
+        let mut pool = SweepPool::new(2);
+        let mut patches = f.patches_mut(None);
+        let outcome = pool.sweep(Axis::Y, 1e-4, &mut patches);
+        assert_eq!(outcome.cells_updated, expected);
+    }
+
+    #[test]
+    fn empty_level_sweeps_to_nothing() {
+        let mut f = bump_forest();
+        let mut pool = SweepPool::new(4);
+        let mut patches = f.patches_mut(Some(5));
+        let outcome = pool.sweep(Axis::X, 1e-4, &mut patches);
+        assert!(outcome.registers.is_empty());
+        assert_eq!(outcome.cells_updated, 0);
+    }
+}

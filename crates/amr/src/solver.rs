@@ -8,13 +8,18 @@
 //! recursive order *coarse step → two fine sub-steps → reflux*, with fine
 //! ghost bands at coarse–fine interfaces filled by time-interpolated
 //! prolongation. Both modes refill ghost layers before each directional
-//! sweep and regrid on a fixed cadence. Every unit of work the machine
-//! model later converts into wall-clock time and memory is counted here:
-//! cell updates, per-level advances, ghost-exchange volume, regrids and
-//! the peak number of resident cells.
+//! sweep and regrid on a fixed cadence. In both modes the directional
+//! sweeps of a level run on the [`SweepPool`] (`SolverProfile::n_threads`
+//! workers) with order-deterministic reduction, so results are bitwise
+//! independent of the thread count; ghost fill stays serial (see
+//! `Forest::fill_ghost_set`). Every unit of work the machine model later
+//! converts into wall-clock time and memory is counted here: cell
+//! updates, per-level advances, ghost-exchange volume, regrids and the
+//! peak number of resident cells.
 
 use crate::error::AmrError;
-use crate::patch::{BoundaryFluxes, Patch, SweepScratch};
+use crate::patch::{BoundaryFluxes, Patch};
+use crate::pool::SweepPool;
 use crate::refine::RefinementCriteria;
 use crate::shockbubble::SimulationConfig;
 use crate::tree::{Axis, Bc, Forest, PatchKey};
@@ -72,6 +77,13 @@ pub struct SolverProfile {
     /// Time-integration mode (level-synchronous or Berger–Oliger
     /// subcycled).
     pub time_stepping: TimeStepping,
+    /// Worker threads for within-level parallel sweeps (`0` = all cores,
+    /// `1` = serial). Results are bitwise identical for any value — the
+    /// sweep pool reduces per-patch fluxes and work counters in patch
+    /// order — so this knob trades wall-clock only, never reproducibility.
+    /// Defaults to 1: the batch runner and dataset generator already
+    /// parallelize across runs, and nested pools would oversubscribe.
+    pub n_threads: usize,
 }
 
 impl SolverProfile {
@@ -90,6 +102,7 @@ impl SolverProfile {
             max_steps: 200_000,
             reflux: true,
             time_stepping: TimeStepping::Subcycled,
+            n_threads: 1,
         }
     }
 
@@ -116,6 +129,7 @@ impl SolverProfile {
             max_steps: 200_000,
             reflux: true,
             time_stepping: TimeStepping::LevelSynchronous,
+            n_threads: 1,
         }
     }
 }
@@ -169,7 +183,7 @@ pub struct AmrSolver {
     profile: SolverProfile,
     time: f64,
     stats: WorkStats,
-    scratch: SweepScratch,
+    pool: SweepPool,
     /// Per-level substep counters (indexed by level) driving the
     /// alternating x/y sweep order under subcycling; level ℓ alternates
     /// on its own cadence so a uniform forest reproduces the
@@ -250,7 +264,7 @@ impl AmrSolver {
             profile,
             time: 0.0,
             stats,
-            scratch: SweepScratch::default(),
+            pool: SweepPool::new(profile.n_threads),
             level_substeps: Vec::new(),
         }
     }
@@ -304,24 +318,21 @@ impl AmrSolver {
             let ex = self.forest.fill_ghosts(&self.bc)?;
             self.stats.ghost_cells += ex.exchanged();
             self.stats.boundary_cells += ex.boundary_cells;
-            let sweep_x = (half == 0) == x_first;
-            let mut registers = BTreeMap::new();
-            for key in self.forest.leaf_keys() {
-                let patch = self.forest.get_mut(key).ok_or(AmrError::MissingLeaf(key))?;
-                let fluxes = if sweep_x {
-                    patch.sweep_x(dt, &mut self.scratch)
-                } else {
-                    patch.sweep_y(dt, &mut self.scratch)
-                };
-                if self.profile.reflux {
-                    registers.insert(key, fluxes);
-                }
-            }
+            let axis = if (half == 0) == x_first {
+                Axis::X
+            } else {
+                Axis::Y
+            };
+            let outcome = {
+                let mut patches = self.forest.patches_mut(None);
+                self.pool.sweep(axis, dt, &mut patches)
+            };
+            self.stats.cell_updates += outcome.cells_updated;
             if self.profile.reflux {
-                let axis = if sweep_x { Axis::X } else { Axis::Y };
+                let registers: BTreeMap<PatchKey, BoundaryFluxes> =
+                    outcome.registers.into_iter().collect();
                 self.stats.reflux_faces += self.forest.reflux(axis, &registers, dt)?;
             }
-            self.stats.cell_updates += self.forest.total_interior_cells();
         }
         self.stats.level_steps += 1;
         Ok(())
@@ -382,8 +393,6 @@ impl AmrSolver {
             self.level_substeps.resize(level as usize + 1, 0);
         }
 
-        let keys = self.forest.leaf_keys_at(level);
-        let interior = self.forest.interior_cells_at(level);
         let x_first = self.level_substeps[level as usize].is_multiple_of(2);
         let mut fluxes = LevelFluxes::new();
         let no_parent = BTreeMap::new();
@@ -398,23 +407,22 @@ impl AmrSolver {
                 .fill_ghosts_level(level, &self.bc, parent_old, theta0)?;
             self.stats.ghost_cells += ex.exchanged();
             self.stats.boundary_cells += ex.boundary_cells;
-            let sweep_x = (half == 0) == x_first;
-            for &key in &keys {
-                let patch = self.forest.get_mut(key).ok_or(AmrError::MissingLeaf(key))?;
-                let f = if sweep_x {
-                    patch.sweep_x(dt, &mut self.scratch)
-                } else {
-                    patch.sweep_y(dt, &mut self.scratch)
-                };
-                if self.profile.reflux {
-                    if sweep_x {
-                        fluxes.x.insert(key, f);
-                    } else {
-                        fluxes.y.insert(key, f);
-                    }
+            let axis = if (half == 0) == x_first {
+                Axis::X
+            } else {
+                Axis::Y
+            };
+            let outcome = {
+                let mut patches = self.forest.patches_mut(Some(level));
+                self.pool.sweep(axis, dt, &mut patches)
+            };
+            self.stats.cell_updates += outcome.cells_updated;
+            if self.profile.reflux {
+                match axis {
+                    Axis::X => fluxes.x.extend(outcome.registers),
+                    Axis::Y => fluxes.y.extend(outcome.registers),
                 }
             }
-            self.stats.cell_updates += interior;
         }
         self.level_substeps[level as usize] += 1;
         self.stats.level_steps += 1;

@@ -219,6 +219,21 @@ impl Forest {
         self.leaves.iter_mut()
     }
 
+    /// Disjoint mutable borrows of every leaf (or only the leaves of
+    /// `level`, when given), in ascending key order — the unit the
+    /// parallel sweep pool chunks across workers. Each patch appears
+    /// exactly once, so handing different sub-slices to different threads
+    /// is sound, and the ascending order is what makes the pool's ordered
+    /// reduction reproduce serial results bitwise
+    /// (see [`SweepPool`](crate::pool::SweepPool)).
+    pub fn patches_mut(&mut self, level: Option<u8>) -> Vec<(PatchKey, &mut Patch)> {
+        self.leaves
+            .iter_mut()
+            .filter(|((l, _, _), _)| level.is_none_or(|want| *l == want))
+            .map(|(k, p)| (*k, p))
+            .collect()
+    }
+
     /// Total interior cells over all leaves.
     pub fn total_interior_cells(&self) -> u64 {
         (self.leaves.len() * self.mx * self.mx) as u64
@@ -314,6 +329,13 @@ impl Forest {
         self.fill_ghost_set(&self.leaf_keys_at(level), bc, Some((coarse_old, theta)))
     }
 
+    // Ghost fill is intentionally SERIAL (the parallel sweep pool only
+    // covers the sweeps themselves): each patch is taken out of the map so
+    // its neighbours can be read immutably, which mutates the shared
+    // `leaves` structure per patch — a data dependence the chunked-slice
+    // trick that parallelizes sweeps cannot express. A parallel ghost fill
+    // would need a two-phase copy-out/copy-in exchange; until that exists,
+    // this loop runs on the coordinating thread in deterministic key order.
     fn fill_ghost_set(
         &mut self,
         keys: &[PatchKey],

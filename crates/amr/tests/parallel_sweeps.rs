@@ -1,0 +1,237 @@
+//! Determinism contract of the parallel sweep pool: the adaptive
+//! shock–bubble run produces **bitwise identical** final state,
+//! [`WorkStats`] and conservation sums for any `n_threads`, in both
+//! stepping modes — plus a parity test pinning `n_threads = 1` to a
+//! hand-rolled replica of the pre-pool serial algorithm.
+//!
+//! Set `AMR_TEST_THREADS` to add a thread count to the sweep (CI runs the
+//! suite twice, with `AMR_TEST_THREADS=1` and unset = all cores).
+
+// Integration tests run outside #[cfg(test)], so the in-tests carve-outs
+// from clippy.toml don't reach them; tests may panic, compare exact copied
+// floats, and index loops for readability.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::needless_range_loop
+)]
+
+use al_amr_sim::patch::SweepScratch;
+use al_amr_sim::problem::{Problem, ShockBubbleProblem};
+use al_amr_sim::tree::{Axis, Forest, PatchKey};
+use al_amr_sim::{AmrSolver, SimulationConfig, SolverProfile, TimeStepping, WorkStats};
+use std::collections::BTreeMap;
+
+fn config() -> SimulationConfig {
+    SimulationConfig {
+        p: 8,
+        mx: 8,
+        maxlevel: 4,
+        r0: 0.35,
+        rhoin: 0.1,
+    }
+}
+
+/// `fast()`-derived profile, lengthened so the run takes several coarse
+/// steps and crosses regrid cycles (the default `t_final` of `fast()`
+/// covers about one subcycled coarse step at this config).
+fn profile(mode: TimeStepping, n_threads: usize) -> SolverProfile {
+    SolverProfile {
+        t_final: 0.006,
+        regrid_interval: 2,
+        time_stepping: mode,
+        n_threads,
+        ..SolverProfile::fast()
+    }
+}
+
+/// Extra thread count from the environment (`AMR_TEST_THREADS`, 0 = all
+/// cores); CI exercises 1 and unset so both pool paths run on the runner.
+fn env_threads() -> usize {
+    std::env::var("AMR_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Thread counts under test: the spec's {1, 2, 4} plus the environment's.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4, env_threads()];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Everything the determinism contract covers, in comparable-bits form:
+/// leaf structure, every interior cell of every patch, the work counters
+/// and the conservation sums.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    keys: Vec<PatchKey>,
+    cell_bits: Vec<u64>,
+    stats: WorkStats,
+    mass_bits: u64,
+    energy_bits: u64,
+}
+
+fn fingerprint(forest: &Forest, stats: WorkStats) -> Fingerprint {
+    let mut cell_bits = Vec::new();
+    let mut mass = 0.0f64;
+    let mut energy = 0.0f64;
+    for (_, patch) in forest.iter() {
+        let vol = patch.h() * patch.h();
+        for cy in 0..patch.mx() {
+            for cx in 0..patch.mx() {
+                let q = patch.interior(cx, cy);
+                for k in 0..4 {
+                    cell_bits.push(q[k].to_bits());
+                }
+                mass += q[0] * vol;
+                energy += q[3] * vol;
+            }
+        }
+    }
+    Fingerprint {
+        keys: forest.leaf_keys(),
+        cell_bits,
+        stats,
+        mass_bits: mass.to_bits(),
+        energy_bits: energy.to_bits(),
+    }
+}
+
+fn run_with(mode: TimeStepping, n_threads: usize) -> Fingerprint {
+    let mut solver = AmrSolver::new(&config(), profile(mode, n_threads));
+    let stats = solver.run().expect("run");
+    assert!(stats.truncation.is_none(), "truncated: {stats:?}");
+    assert!(
+        stats.steps > 1,
+        "need several coarse steps: {}",
+        stats.steps
+    );
+    assert!(stats.regrid_count > 0, "need regrids in the loop");
+    fingerprint(solver.forest(), stats)
+}
+
+fn assert_bitwise_deterministic(mode: TimeStepping) {
+    let reference = run_with(mode, 1);
+    for n_threads in thread_counts() {
+        let run = run_with(mode, n_threads);
+        assert_eq!(
+            run.keys, reference.keys,
+            "{mode:?}/{n_threads}: leaf structure diverged"
+        );
+        assert_eq!(
+            run.stats, reference.stats,
+            "{mode:?}/{n_threads}: WorkStats diverged"
+        );
+        assert_eq!(
+            run.cell_bits, reference.cell_bits,
+            "{mode:?}/{n_threads}: final state not byte-identical"
+        );
+        assert_eq!(
+            (run.mass_bits, run.energy_bits),
+            (reference.mass_bits, reference.energy_bits),
+            "{mode:?}/{n_threads}: conservation sums diverged"
+        );
+    }
+}
+
+#[test]
+fn level_synchronous_is_bitwise_deterministic_across_thread_counts() {
+    assert_bitwise_deterministic(TimeStepping::LevelSynchronous);
+}
+
+#[test]
+fn subcycled_is_bitwise_deterministic_across_thread_counts() {
+    assert_bitwise_deterministic(TimeStepping::Subcycled);
+}
+
+/// Parity with the pre-pool serial path: a hand-rolled replica of the
+/// level-synchronous stepper exactly as it existed before the sweep pool
+/// (per-key loop in `BTreeMap` order, one shared scratch buffer, reflux
+/// after each directional sweep, regrid cadence on step parity) must match
+/// the pooled solver at `n_threads = 1` bit for bit.
+#[test]
+fn pooled_solver_matches_hand_rolled_serial_stepper() {
+    let config = config();
+    let profile = profile(TimeStepping::LevelSynchronous, 1);
+
+    let mut solver = AmrSolver::new(&config, profile);
+    let mut reference = solver.forest().clone();
+
+    let stats = solver.run().expect("run");
+    assert!(stats.truncation.is_none());
+
+    // Hand-drive the reference forest through the same algorithm.
+    let bc = ShockBubbleProblem::new(config).boundary_conditions();
+    let mut scratch = SweepScratch::default();
+    let mut time = 0.0f64;
+    let mut steps = 0u64;
+    while time < profile.t_final {
+        let mut dt = reference.cfl_dt(profile.cfl);
+        if time + dt > profile.t_final {
+            dt = profile.t_final - time;
+        }
+        let x_first = steps.is_multiple_of(2);
+        for half in 0..2 {
+            reference.fill_ghosts(&bc).expect("ghost fill");
+            let sweep_x = (half == 0) == x_first;
+            let mut registers = BTreeMap::new();
+            for key in reference.leaf_keys() {
+                let patch = reference.get_mut(key).expect("leaf");
+                let fluxes = if sweep_x {
+                    patch.sweep_x(dt, &mut scratch)
+                } else {
+                    patch.sweep_y(dt, &mut scratch)
+                };
+                registers.insert(key, fluxes);
+            }
+            let axis = if sweep_x { Axis::X } else { Axis::Y };
+            reference.reflux(axis, &registers, dt).expect("reflux");
+        }
+        time += dt;
+        steps += 1;
+        if steps.is_multiple_of(profile.regrid_interval) {
+            reference.regrid(
+                profile.criteria.refine_threshold,
+                profile.criteria.coarsen_threshold,
+            );
+        }
+        assert!(steps < profile.max_steps, "reference run ran away");
+        assert!(dt > 0.0 && dt.is_finite());
+    }
+
+    assert_eq!(stats.steps, steps, "step counts diverged");
+    assert_eq!(solver.forest().leaf_keys(), reference.leaf_keys());
+    for (key, patch) in solver.forest().iter() {
+        let ref_patch = reference.get(*key).expect("leaf");
+        for cy in 0..patch.mx() {
+            for cx in 0..patch.mx() {
+                for k in 0..4 {
+                    assert_eq!(
+                        patch.interior(cx, cy)[k].to_bits(),
+                        ref_patch.interior(cx, cy)[k].to_bits(),
+                        "{key:?} cell ({cx},{cy}) var {k}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The pool only changes wall-clock: counted work per the machine-model
+/// contract is identical whatever the host threading, in both modes.
+#[test]
+fn counted_work_is_independent_of_thread_count() {
+    for mode in [TimeStepping::LevelSynchronous, TimeStepping::Subcycled] {
+        let serial = run_with(mode, 1).stats;
+        let threaded = run_with(mode, 4).stats;
+        assert_eq!(serial.cell_updates, threaded.cell_updates);
+        assert_eq!(serial.level_steps, threaded.level_steps);
+        assert_eq!(serial.ghost_cells, threaded.ghost_cells);
+        assert_eq!(serial.reflux_faces, threaded.reflux_faces);
+    }
+}

@@ -102,11 +102,53 @@ fn bench_solver_step(c: &mut Criterion) {
     group.finish();
 }
 
+/// Parallel-sweep scaling: the same deep-hierarchy coarse step with the
+/// sweep pool at 1 worker (the serial path) vs. all cores. Results are
+/// bitwise identical by construction — the determinism suite enforces it —
+/// so this group measures pure wall-clock. On a single-core host the two
+/// variants should tie (chunking degrades to the inline serial loop);
+/// speedup on multi-core runners comes from the sweeps only, since ghost
+/// fill, refluxing and regridding stay serial.
+fn bench_solver_step_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_step_threads");
+    group.sample_size(10);
+    let config = SimulationConfig {
+        p: 8,
+        mx: 16,
+        maxlevel: 4,
+        r0: 0.35,
+        rhoin: 0.1,
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for (label, n_threads) in [("threads_1", 1usize), ("threads_all", 0)] {
+        group.bench_with_input(
+            BenchmarkId::new("ml4_mx16_subcycled", label),
+            &n_threads,
+            |b, &n_threads| {
+                let profile = SolverProfile {
+                    t_final: f64::INFINITY,
+                    time_stepping: TimeStepping::Subcycled,
+                    n_threads,
+                    ..SolverProfile::smoke()
+                };
+                let mut solver = AmrSolver::new(&config, profile);
+                b.iter(|| black_box(solver.step()));
+            },
+        );
+        if cores == 1 {
+            // threads_all == threads_1 on this host; one variant suffices.
+            break;
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_patch_sweep,
     bench_ghost_fill,
     bench_regrid,
-    bench_solver_step
+    bench_solver_step,
+    bench_solver_step_threads
 );
 criterion_main!(benches);
