@@ -36,6 +36,13 @@ pub struct Config {
     pub float_cmp_approved: Vec<String>,
     /// Directories (workspace-relative) scanned for sources.
     pub scan_roots: Vec<String>,
+    /// L5 (unit safety): identifier suffix → unit, written `"_us:microseconds"`.
+    pub unit_suffixes: Vec<(String, String)>,
+    /// L5: quantity type name → unit, written `"Micros:microseconds"`.
+    pub unit_types: Vec<(String, String)>,
+    /// L5: identifiers that convert between units; their presence next to a
+    /// mixed-unit operator marks the expression as an intentional conversion.
+    pub unit_conversions: Vec<String>,
     pub allowances: Vec<Allowance>,
 }
 
@@ -51,7 +58,15 @@ impl Default for Config {
             ]
             .map(String::from)
             .to_vec(),
-            typed_error_crates: ["crates/linalg", "crates/gp"].map(String::from).to_vec(),
+            typed_error_crates: [
+                "crates/linalg",
+                "crates/gp",
+                "crates/amr",
+                "crates/dataset",
+                "crates/core",
+            ]
+            .map(String::from)
+            .to_vec(),
             hot_paths: [
                 "crates/linalg/src/cholesky.rs",
                 "crates/gp/src/gp.rs",
@@ -61,6 +76,44 @@ impl Default for Config {
             .to_vec(),
             float_cmp_approved: Vec::new(),
             scan_roots: ["crates", "src"].map(String::from).to_vec(),
+            unit_suffixes: [
+                ("_seconds", "seconds"),
+                ("_us", "microseconds"),
+                ("_ns", "nanoseconds"),
+                ("_node_hours", "node_hours"),
+                ("_mb", "megabytes"),
+                ("_bytes", "bytes"),
+                ("_cells", "cells"),
+            ]
+            .map(|(s, u)| (s.to_string(), u.to_string()))
+            .to_vec(),
+            unit_types: [
+                ("Seconds", "seconds"),
+                ("Micros", "microseconds"),
+                ("Nanos", "nanoseconds"),
+                ("NodeHours", "node_hours"),
+                ("Megabytes", "megabytes"),
+                ("Bytes", "bytes"),
+                ("CellUpdates", "cells"),
+                ("LogMegabytes", "log_megabytes"),
+            ]
+            .map(|(s, u)| (s.to_string(), u.to_string()))
+            .to_vec(),
+            // `.value()` is deliberately absent: unwrapping to raw f64 is
+            // not a unit conversion, and comparisons between mismatched
+            // `.value()` results are exactly the bug class L5 targets.
+            unit_conversions: [
+                "to_seconds",
+                "to_micros",
+                "to_megabytes",
+                "to_bytes",
+                "node_hours",
+                "log10",
+                "log10_response",
+                "unlog10_response",
+            ]
+            .map(String::from)
+            .to_vec(),
             allowances: Vec::new(),
         }
     }
@@ -212,6 +265,34 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
     take_list("hot_paths", &mut config.hot_paths)?;
     take_list("float_cmp_approved", &mut config.float_cmp_approved)?;
     take_list("scan_roots", &mut config.scan_roots)?;
+    take_list("unit_conversions", &mut config.unit_conversions)?;
+    let mut take_pair_list =
+        |name: &str, target: &mut Vec<(String, String)>| -> Result<(), ConfigError> {
+            if let Some((value, line)) = scalar_keys.remove(name) {
+                let Value::StrArray(items) = value else {
+                    return Err(ConfigError {
+                        line,
+                        message: format!("`{name}` must be a string array"),
+                    });
+                };
+                let mut pairs = Vec::new();
+                for item in items {
+                    let Some((key, unit)) = item.split_once(':') else {
+                        return Err(ConfigError {
+                            line,
+                            message: format!(
+                                "`{name}` entries must look like \"name:unit\", got `{item}`"
+                            ),
+                        });
+                    };
+                    pairs.push((key.trim().to_string(), unit.trim().to_string()));
+                }
+                *target = pairs;
+            }
+            Ok(())
+        };
+    take_pair_list("unit_suffixes", &mut config.unit_suffixes)?;
+    take_pair_list("unit_types", &mut config.unit_types)?;
     if let Some((key, (_, line))) = scalar_keys.into_iter().next() {
         return Err(ConfigError {
             line,
@@ -327,6 +408,39 @@ count = 1
         let cfg = Config::default();
         assert_eq!(cfg.lib_crates.len(), 5);
         assert!(cfg.typed_error_crates.contains(&"crates/gp".to_string()));
+    }
+
+    #[test]
+    fn unit_tables_parse_and_have_defaults() {
+        let cfg = parse(
+            "[units]\nunit_suffixes = [\"_ticks:ticks\"]\nunit_types = [\"Ticks:ticks\"]\n\
+             unit_conversions = [\"to_ticks\"]\n",
+        )
+        .expect("parse");
+        assert_eq!(
+            cfg.unit_suffixes,
+            vec![("_ticks".to_string(), "ticks".to_string())]
+        );
+        assert_eq!(
+            cfg.unit_types,
+            vec![("Ticks".to_string(), "ticks".to_string())]
+        );
+        assert_eq!(cfg.unit_conversions, vec!["to_ticks"]);
+        // Defaults ship the repo's quantity tables; `value` (the raw-f64
+        // escape hatch) must never count as a conversion.
+        let d = Config::default();
+        assert!(d
+            .unit_suffixes
+            .iter()
+            .any(|(s, u)| s == "_us" && u == "microseconds"));
+        assert!(d.unit_types.iter().any(|(t, _)| t == "LogMegabytes"));
+        assert!(!d.unit_conversions.contains(&"value".to_string()));
+    }
+
+    #[test]
+    fn malformed_unit_pairs_are_errors() {
+        let err = parse("unit_suffixes = [\"_us\"]\n").unwrap_err();
+        assert!(err.message.contains("name:unit"), "{err}");
     }
 
     #[test]

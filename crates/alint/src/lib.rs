@@ -1,8 +1,9 @@
 //! alint — workspace static analysis for numerical-robustness invariants.
 //!
-//! The four lints (L1 panic_site, L2 float_cmp, L3 typed_error, L4
-//! lossy_cast) encode repo-specific rules that clippy cannot express
-//! because they depend on which crate, module, or file the code lives in.
+//! The five lints (L1 panic_site, L2 float_cmp, L3 typed_error, L4
+//! lossy_cast, L5 unit_safety) encode repo-specific rules that clippy
+//! cannot express because they depend on which crate, module, or file the
+//! code lives in — or, for L5, on the repo's own unit vocabulary.
 //! See `lints` for the rules, `config` for `alint.toml`, and `DESIGN.md`
 //! ("Static analysis & invariants") for the policy.
 //!
@@ -32,15 +33,18 @@ pub struct Report {
     /// Budgets larger than the current violation count: `(path, lint,
     /// budget, actual)`. The ratchet should be tightened.
     pub slack: Vec<(String, String, usize, usize)>,
-    /// Allowances whose file has no diagnostics at all (stale entries).
+    /// Allowances whose file has no diagnostics at all. Stale entries are
+    /// *errors*, not notes: a forgotten entry would silently re-admit the
+    /// very debt the ratchet paid down.
     pub unused: Vec<(String, String)>,
     /// Files scanned.
     pub files_scanned: usize,
 }
 
 impl Report {
+    /// Clean means no violations *and* no stale allowlist entries.
     pub fn is_clean(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.unused.is_empty()
     }
 }
 
@@ -53,12 +57,13 @@ pub fn check_workspace(root: &Path, config: &Config) -> std::io::Result<Report> 
 /// All diagnostics before allowlist filtering, plus the file count.
 pub fn raw_diagnostics(root: &Path, config: &Config) -> std::io::Result<(Vec<Diagnostic>, usize)> {
     let files = workspace::scan(root, config)?;
+    let units = lints::UnitTables::from_config(config);
     let n = files.len();
     let mut all = Vec::new();
     for file in &files {
         let src = std::fs::read_to_string(&file.abs_path)?;
         let lexed = lexer::lex(&src);
-        all.extend(lints::lint_file(&file.rel_path, &lexed, file.scope));
+        all.extend(lints::lint_file(&file.rel_path, &lexed, file.scope, &units));
     }
     all.sort();
     Ok((all, n))
@@ -110,6 +115,116 @@ pub fn apply_allowlist(
     report
 }
 
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a report as one JSON object with a stable shape for CI tooling:
+///
+/// ```json
+/// {"clean": false, "files_scanned": 2,
+///  "violations": [{"path": "...", "line": 3, "lint": "L1",
+///                  "name": "panic_site", "message": "..."}],
+///  "grandfathered": 0,
+///  "slack": [{"path": "...", "lint": "L1", "budget": 5, "actual": 1}],
+///  "stale_allowances": [{"path": "...", "lint": "L4"}]}
+/// ```
+pub fn render_json(report: &Report) -> String {
+    let violations: Vec<String> = report
+        .violations
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"path\": \"{}\", \"line\": {}, \"lint\": \"{}\", \
+                 \"name\": \"{}\", \"message\": \"{}\"}}",
+                json_escape(&d.path),
+                d.line,
+                d.lint,
+                lints::lint_name(d.lint),
+                json_escape(&d.message)
+            )
+        })
+        .collect();
+    let slack: Vec<String> = report
+        .slack
+        .iter()
+        .map(|(path, lint, budget, actual)| {
+            format!(
+                "{{\"path\": \"{}\", \"lint\": \"{}\", \"budget\": {budget}, \
+                 \"actual\": {actual}}}",
+                json_escape(path),
+                json_escape(lint)
+            )
+        })
+        .collect();
+    let stale: Vec<String> = report
+        .unused
+        .iter()
+        .map(|(path, lint)| {
+            format!(
+                "{{\"path\": \"{}\", \"lint\": \"{}\"}}",
+                json_escape(path),
+                json_escape(lint)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"clean\": {}, \"files_scanned\": {}, \"violations\": [{}], \
+         \"grandfathered\": {}, \"slack\": [{}], \"stale_allowances\": [{}]}}",
+        report.is_clean(),
+        report.files_scanned,
+        violations.join(", "),
+        report.grandfathered.len(),
+        slack.join(", "),
+        stale.join(", ")
+    )
+}
+
+/// Render GitHub Actions workflow commands so a failing CI check annotates
+/// the offending lines in the PR diff: one `::error` per violation and per
+/// stale allowlist entry, one `::warning` per slack budget.
+pub fn render_github(report: &Report) -> String {
+    let mut out = String::new();
+    for d in &report.violations {
+        out.push_str(&format!(
+            "::error file={},line={},title=alint {}({})::{}\n",
+            d.path,
+            d.line,
+            d.lint,
+            lints::lint_name(d.lint),
+            d.message
+        ));
+    }
+    for (path, lint) in &report.unused {
+        out.push_str(&format!(
+            "::error file=alint.toml,title=alint stale allowance::unused [[allow]] entry \
+             for {lint} in {path} — remove it\n"
+        ));
+    }
+    for (path, lint, budget, actual) in &report.slack {
+        out.push_str(&format!(
+            "::warning file=alint.toml,title=alint ratchet slack::{path}: {lint} budget \
+             is {budget} but only {actual} remain — tighten the [[allow]] entry\n"
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,25 +267,83 @@ mod tests {
     }
 
     #[test]
-    fn slack_and_unused_budgets_are_reported() {
-        let cfg = config_with(vec![
-            Allowance {
-                path: "a.rs".into(),
-                lint: "L1".into(),
-                count: 5,
-                reason: String::new(),
-            },
-            Allowance {
-                path: "gone.rs".into(),
-                lint: "L4".into(),
-                count: 1,
-                reason: String::new(),
-            },
-        ]);
-        let report = apply_allowlist(vec![diag("a.rs", 1, "L1")], &cfg, 1);
-        assert!(report.is_clean());
+    fn slack_budgets_are_notes_but_stale_entries_fail() {
+        let slack_only = config_with(vec![Allowance {
+            path: "a.rs".into(),
+            lint: "L1".into(),
+            count: 5,
+            reason: String::new(),
+        }]);
+        let report = apply_allowlist(vec![diag("a.rs", 1, "L1")], &slack_only, 1);
+        assert!(report.is_clean(), "slack alone must not fail the check");
         assert_eq!(report.slack, vec![("a.rs".into(), "L1".into(), 5, 1)]);
+
+        let with_stale = config_with(vec![Allowance {
+            path: "gone.rs".into(),
+            lint: "L4".into(),
+            count: 1,
+            reason: String::new(),
+        }]);
+        let report = apply_allowlist(Vec::new(), &with_stale, 1);
+        assert!(report.violations.is_empty());
         assert_eq!(report.unused, vec![("gone.rs".into(), "L4".into())]);
+        assert!(!report.is_clean(), "a stale allowance is an error");
+    }
+
+    #[test]
+    fn json_rendering_has_a_stable_shape() {
+        let cfg = config_with(vec![Allowance {
+            path: "gone.rs".into(),
+            lint: "L4".into(),
+            count: 2,
+            reason: String::new(),
+        }]);
+        let mut d = diag("crates/a/src/x.rs", 3, "L1");
+        d.message = "say \"no\"".into();
+        let report = apply_allowlist(vec![d], &cfg, 7);
+        assert_eq!(
+            render_json(&report),
+            "{\"clean\": false, \"files_scanned\": 7, \"violations\": \
+             [{\"path\": \"crates/a/src/x.rs\", \"line\": 3, \"lint\": \"L1\", \
+             \"name\": \"panic_site\", \"message\": \"say \\\"no\\\"\"}], \
+             \"grandfathered\": 0, \"slack\": [], \"stale_allowances\": \
+             [{\"path\": \"gone.rs\", \"lint\": \"L4\"}]}"
+        );
+    }
+
+    #[test]
+    fn json_rendering_of_a_clean_report_is_empty_lists() {
+        let report = apply_allowlist(Vec::new(), &config_with(Vec::new()), 4);
+        assert_eq!(
+            render_json(&report),
+            "{\"clean\": true, \"files_scanned\": 4, \"violations\": [], \
+             \"grandfathered\": 0, \"slack\": [], \"stale_allowances\": []}"
+        );
+    }
+
+    #[test]
+    fn github_rendering_annotates_violations_and_stale_entries() {
+        let cfg = config_with(vec![Allowance {
+            path: "gone.rs".into(),
+            lint: "L4".into(),
+            count: 2,
+            reason: String::new(),
+        }]);
+        let mut d = diag("crates/a/src/x.rs", 3, "L5");
+        d.message = "`+` mixes seconds and megabytes".into();
+        let report = apply_allowlist(vec![d], &cfg, 7);
+        let out = render_github(&report);
+        assert!(
+            out.contains(
+                "::error file=crates/a/src/x.rs,line=3,title=alint L5(unit_safety)::\
+                 `+` mixes seconds and megabytes"
+            ),
+            "{out}"
+        );
+        assert!(
+            out.contains("::error file=alint.toml,title=alint stale allowance::"),
+            "{out}"
+        );
     }
 
     #[test]

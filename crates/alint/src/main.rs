@@ -6,10 +6,19 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Output style for `check`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = "check";
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -24,6 +33,18 @@ fn main() -> ExitCode {
                 Some(path) => root = Some(PathBuf::from(path)),
                 None => {
                     eprintln!("alint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match iter.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("github") => format = Format::Github,
+                other => {
+                    eprintln!(
+                        "alint: --format requires one of text|json|github, got {:?}",
+                        other.unwrap_or("nothing")
+                    );
                     return ExitCode::from(2);
                 }
             },
@@ -56,16 +77,19 @@ fn main() -> ExitCode {
     match command {
         "dump" => dump(&root, &config),
         "ratchet" => ratchet(&root, &config),
-        _ => check(&root, &config),
+        _ => check(&root, &config, format),
     }
 }
 
 const USAGE: &str = "\
-usage: cargo run -p alint -- [check|dump|ratchet] [--root <dir>]
+usage: cargo run -p alint -- [check|dump|ratchet] [--root <dir>] [--format <fmt>]
 
   check     lint the workspace, applying the alint.toml allowlist (default)
   dump      print every raw diagnostic, ignoring the allowlist
   ratchet   print [[allow]] entries matching the current violation counts
+
+  --format  check output style: text (default), json (one machine-readable
+            object), or github (::error workflow-command annotations)
 ";
 
 /// Locate the workspace root: the manifest dir's grandparent when built in
@@ -80,7 +104,7 @@ fn workspace_root() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("."))
 }
 
-fn check(root: &std::path::Path, config: &alint::config::Config) -> ExitCode {
+fn check(root: &std::path::Path, config: &alint::config::Config, format: Format) -> ExitCode {
     let report = match alint::check_workspace(root, config) {
         Ok(r) => r,
         Err(e) => {
@@ -88,17 +112,36 @@ fn check(root: &std::path::Path, config: &alint::config::Config) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    for d in &report.violations {
-        println!("{d}");
-    }
-    for (path, lint, budget, actual) in &report.slack {
-        println!(
-            "note: {path}: {lint} budget is {budget} but only {actual} remain — \
-             tighten the [[allow]] entry in alint.toml"
-        );
-    }
-    for (path, lint) in &report.unused {
-        println!("note: {path}: unused [[allow]] entry for {lint} — remove it from alint.toml");
+    let exit = if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    };
+    match format {
+        Format::Json => {
+            println!("{}", alint::render_json(&report));
+            return exit;
+        }
+        Format::Github => {
+            print!("{}", alint::render_github(&report));
+        }
+        Format::Text => {
+            for d in &report.violations {
+                println!("{d}");
+            }
+            for (path, lint, budget, actual) in &report.slack {
+                println!(
+                    "note: {path}: {lint} budget is {budget} but only {actual} remain — \
+                     tighten the [[allow]] entry in alint.toml"
+                );
+            }
+            for (path, lint) in &report.unused {
+                println!(
+                    "error: stale [[allow]] entry for {lint} in {path} — the file has no \
+                     {lint} findings; remove it from alint.toml"
+                );
+            }
+        }
     }
     let grandfathered = report.grandfathered.len();
     if report.is_clean() {
@@ -108,21 +151,22 @@ fn check(root: &std::path::Path, config: &alint::config::Config) -> ExitCode {
             grandfathered,
             if grandfathered == 1 { "" } else { "s" },
         );
-        ExitCode::SUCCESS
     } else {
         println!(
-            "alint: {} violation{} in {} files scanned ({} grandfathered)",
+            "alint: {} violation{} and {} stale allowance{} in {} files scanned ({} grandfathered)",
             report.violations.len(),
             if report.violations.len() == 1 {
                 ""
             } else {
                 "s"
             },
+            report.unused.len(),
+            if report.unused.len() == 1 { "" } else { "s" },
             report.files_scanned,
             grandfathered,
         );
-        ExitCode::from(1)
     }
+    exit
 }
 
 fn dump(root: &std::path::Path, config: &alint::config::Config) -> ExitCode {

@@ -75,6 +75,8 @@ fn rel_string(path: &Path, root: &Path) -> String {
 /// - L2 runs on everything scanned except the approved modules.
 /// - L3 runs on `src/` files of the typed-error crates.
 /// - L4 runs only on the listed hot-path files.
+/// - L5 runs on everything scanned (disabling it means emptying the unit
+///   tables in `alint.toml`, not a per-file carve-out).
 pub fn scope_for(rel_path: &str, config: &Config) -> FileScope {
     let in_crate_src = |crate_root: &str| {
         rel_path.starts_with(&format!("{crate_root}/src/"))
@@ -86,6 +88,7 @@ pub fn scope_for(rel_path: &str, config: &Config) -> FileScope {
         float_cmp: !config.float_cmp_approved.iter().any(|p| p == rel_path),
         typed_error: config.typed_error_crates.iter().any(|c| in_crate_src(c)),
         hot_path: config.hot_paths.iter().any(|p| p == rel_path),
+        unit_safety: true,
     }
 }
 
@@ -97,10 +100,10 @@ mod tests {
     fn scope_assignment_follows_config() {
         let config = Config::default();
         let s = scope_for("crates/linalg/src/cholesky.rs", &config);
-        assert!(s.lib_crate && s.typed_error && s.hot_path && s.float_cmp);
+        assert!(s.lib_crate && s.typed_error && s.hot_path && s.float_cmp && s.unit_safety);
 
         let s = scope_for("crates/core/src/procedure.rs", &config);
-        assert!(s.lib_crate && !s.typed_error && !s.hot_path);
+        assert!(s.lib_crate && !s.hot_path && s.unit_safety);
 
         let s = scope_for("crates/alint/src/lints.rs", &config);
         assert!(!s.lib_crate && !s.typed_error && !s.hot_path && s.float_cmp);

@@ -8,7 +8,7 @@
 
 use alint::config::{Allowance, Config};
 use alint::lexer::lex;
-use alint::lints::{lint_file, Diagnostic, FileScope};
+use alint::lints::{lint_file, Diagnostic, FileScope, UnitTables};
 use std::path::{Path, PathBuf};
 
 fn lint_fixture(name: &str, scope: FileScope) -> Vec<Diagnostic> {
@@ -17,7 +17,12 @@ fn lint_fixture(name: &str, scope: FileScope) -> Vec<Diagnostic> {
         .join(name);
     let src = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
-    lint_file(name, &lex(&src), scope)
+    lint_file(
+        name,
+        &lex(&src),
+        scope,
+        &UnitTables::from_config(&Config::default()),
+    )
 }
 
 fn all_scopes() -> FileScope {
@@ -26,6 +31,7 @@ fn all_scopes() -> FileScope {
         float_cmp: true,
         typed_error: true,
         hot_path: true,
+        unit_safety: true,
     }
 }
 
@@ -134,6 +140,26 @@ fn l4_clean_fixture_is_silent_under_every_lint() {
 }
 
 #[test]
+fn l5_flags_each_kind_of_unit_mixing() {
+    let diags = lint_fixture("l5_violations.rs", only(|s| s.unit_safety = true));
+    assert_eq!(diags.len(), 5, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.lint == "L5"), "{diags:#?}");
+    // Suffix arithmetic, suffix comparison, compound assignment, quantity
+    // ascription, and a quantity type name used in an expression.
+    assert_eq!(
+        diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+        vec![5, 9, 15, 21, 25],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn l5_clean_fixture_is_silent_under_every_lint() {
+    let diags = lint_fixture("l5_clean.rs", all_scopes());
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
 fn allowlist_budget_absorbs_fixture_violations_exactly() {
     let diags = lint_fixture("l1_violations.rs", only(|s| s.lib_crate = true));
     let allow = |count| Config {
@@ -194,6 +220,84 @@ fn cli_exits_nonzero_on_violation_and_zero_when_allowlisted() {
     std::fs::write(root.join("alint.toml"), allow).expect("rewrite config");
     let out = run(&root);
     assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// A stale `[[allow]]` entry (its file has no findings at all) must fail
+/// the check rather than linger as a silent re-admission channel.
+#[test]
+fn cli_fails_on_stale_allowlist_entries() {
+    let root = scratch_workspace("stale_allow");
+    let src_dir = root.join("crates/demo/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(src_dir.join("lib.rs"), "pub fn ok() -> u8 {\n    1\n}\n")
+        .expect("write fixture source");
+    std::fs::write(
+        root.join("alint.toml"),
+        "lib_crates = [\"crates/demo\"]\nscan_roots = [\"crates\"]\n\
+         [[allow]]\npath = \"crates/demo/src/lib.rs\"\nlint = \"L1\"\n\
+         count = 1\nreason = \"paid down\"\n",
+    )
+    .expect("write config");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_alint"))
+        .args(["check", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run alint");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stale [[allow]] entry for L1"), "{stdout}");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// `--format json` emits one machine-readable object carrying the same
+/// verdict as the exit code; `--format github` emits `::error` annotations.
+#[test]
+fn cli_formats_json_and_github_output() {
+    let root = scratch_workspace("formats");
+    let src_dir = root.join("crates/demo/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn boom(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n",
+    )
+    .expect("write fixture source");
+    std::fs::write(
+        root.join("alint.toml"),
+        "lib_crates = [\"crates/demo\"]\nscan_roots = [\"crates\"]\n",
+    )
+    .expect("write config");
+
+    let run = |fmt: &str| {
+        std::process::Command::new(env!("CARGO_BIN_EXE_alint"))
+            .args(["check", "--format", fmt, "--root"])
+            .arg(&root)
+            .output()
+            .expect("run alint")
+    };
+
+    let out = run("json");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("{\"clean\": false, "), "{stdout}");
+    assert!(
+        stdout.contains(
+            "\"path\": \"crates/demo/src/lib.rs\", \"line\": 2, \
+             \"lint\": \"L1\", \"name\": \"panic_site\""
+        ),
+        "{stdout}"
+    );
+
+    let out = run("github");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("::error file=crates/demo/src/lib.rs,line=2,title=alint L1(panic_site)::"),
+        "{stdout}"
+    );
 
     std::fs::remove_dir_all(&root).ok();
 }

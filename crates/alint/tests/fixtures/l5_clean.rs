@@ -1,0 +1,32 @@
+//! L5 clean fixtures: same-unit arithmetic, one-sided evidence, explicit
+//! conversions, and marker suppression must all stay silent.
+
+pub fn same_unit(start_us: f64, end_us: f64) -> f64 {
+    end_us - start_us
+}
+
+pub fn converted(wall_seconds: Seconds, step_us: Micros) -> Seconds {
+    wall_seconds + step_us.to_seconds()
+}
+
+pub fn converted_free_fn(a_us: f64, b_seconds: f64) -> f64 {
+    to_seconds(a_us) + b_seconds
+}
+
+pub fn one_sided(wall_seconds: f64, scale: f64) -> bool {
+    wall_seconds * scale < threshold(scale)
+}
+
+fn threshold(x: f64) -> f64 {
+    x
+}
+
+pub fn marked(total_mb: f64, used_bytes: f64) -> bool {
+    // alint: allow(L5)
+    total_mb < used_bytes
+}
+
+pub fn signature_types(limit: Option<Megabytes>, cost_node_hours: f64) -> NodeHours {
+    let _ = limit;
+    NodeHours::new(cost_node_hours)
+}

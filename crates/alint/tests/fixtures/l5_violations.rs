@@ -1,0 +1,26 @@
+//! L5 fixtures: arithmetic and comparisons that mix inferred units.
+//! Expected diagnostics: lines 5, 9, 15, 21, 25.
+
+pub fn mixed_arithmetic(cell_update_us: f64, wall_seconds: f64) -> f64 {
+    cell_update_us + wall_seconds
+}
+
+pub fn mixed_comparison(base_mem_mb: f64, payload_bytes: f64) -> bool {
+    base_mem_mb < payload_bytes
+}
+
+pub fn mixed_compound_assign(total: f64, extra_seconds: f64) -> f64 {
+    let mut total_us: f64 = total;
+    // `+=` lexes as `+` then `=`; L5 must still see both operands.
+    total_us += extra_seconds;
+    total_us
+}
+
+pub fn mixed_ascription(budget: Seconds, spent_us: f64) -> bool {
+    let wall: Seconds = budget;
+    wall != spent_us
+}
+
+pub fn mixed_type_name(raw_mb: f64) -> bool {
+    Seconds::new(1.0) < raw_mb
+}

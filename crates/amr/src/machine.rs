@@ -31,6 +31,7 @@
 
 use crate::solver::WorkStats;
 use al_linalg::rng::noise_factor;
+use al_units::{Bytes, CellUpdates, Megabytes, Micros, Nanos, NodeHours, Seconds};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -39,8 +40,8 @@ use rand::SeedableRng;
 pub struct MachineModel {
     /// Cores per node (Edison: 24).
     pub cores_per_node: f64,
-    /// Microseconds per directional cell update on one core.
-    pub cell_update_us: f64,
+    /// Time per directional cell update on one core.
+    pub cell_update_us: Micros,
     /// Scale factor mapping our shortened simulation burst to a full
     /// production run. The paper's jobs simulated the complete shock–bubble
     /// evolution (late-time shredded interfaces refine far more area than
@@ -55,16 +56,16 @@ pub struct MachineModel {
     /// Fraction of compute that does not parallelize (regridding,
     /// partition bookkeeping).
     pub serial_fraction: f64,
-    /// Per-step communication latency in microseconds, scaled by `ln(p+1)`.
-    pub step_latency_us: f64,
-    /// Nanoseconds per ghost cell exchanged (bandwidth term).
-    pub ghost_cell_ns: f64,
-    /// Bytes per stored cell (4 conserved variables × f64).
-    pub bytes_per_cell: f64,
+    /// Per-step communication latency, scaled by `ln(p+1)`.
+    pub step_latency_us: Micros,
+    /// Time per ghost cell exchanged (bandwidth term).
+    pub ghost_cell_ns: Nanos,
+    /// Storage per cell (4 conserved variables × f64).
+    pub bytes_per_cell: Bytes,
     /// Multiplier for metadata, buffers and solver workspace.
     pub mem_overhead: f64,
-    /// Baseline MaxRSS per process in MB.
-    pub base_mem_mb: f64,
+    /// Baseline MaxRSS per process.
+    pub base_mem_mb: Megabytes,
     /// Log-normal sigma of wall-clock noise.
     pub wall_noise_sigma: f64,
     /// Log-normal sigma of memory noise.
@@ -75,29 +76,30 @@ impl Default for MachineModel {
     fn default() -> Self {
         MachineModel {
             cores_per_node: 24.0,
-            cell_update_us: 3.0,
+            cell_update_us: Micros::new(3.0),
             full_sim_scale: 1200.0,
             serial_fraction: 0.02,
-            step_latency_us: 450.0,
-            ghost_cell_ns: 60.0,
-            bytes_per_cell: 32.0,
+            step_latency_us: Micros::new(450.0),
+            ghost_cell_ns: Nanos::new(60.0),
+            bytes_per_cell: Bytes::new(32.0),
             mem_overhead: 2.0,
-            base_mem_mb: 0.01,
+            base_mem_mb: Megabytes::new(0.01),
             wall_noise_sigma: 0.08,
             mem_noise_sigma: 0.02,
         }
     }
 }
 
-/// The three responses of the paper's dataset.
+/// The three responses of the paper's dataset, each in its own unit type
+/// so wall-clock, cost and memory can never be swapped or mixed silently.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineOutcome {
-    /// Wall-clock time in seconds.
-    pub wall_seconds: f64,
-    /// Job cost in node-hours (`wall · p / 3600`).
-    pub cost_node_hours: f64,
-    /// Peak resident set size per process, in MB.
-    pub memory_mb: f64,
+    /// Wall-clock time.
+    pub wall_seconds: Seconds,
+    /// Job cost (`wall · p / 3600` node-hours).
+    pub cost_node_hours: NodeHours,
+    /// Peak resident set size per process.
+    pub memory_mb: Megabytes,
 }
 
 impl MachineModel {
@@ -107,10 +109,12 @@ impl MachineModel {
         let p_f = p as f64;
 
         // Compute time on a single node, then Amdahl scaling across nodes.
-        let node_seconds =
-            stats.cell_updates as f64 * self.cell_update_us * 1e-6 * self.full_sim_scale
-                / self.cores_per_node;
-        let compute = node_seconds * ((1.0 - self.serial_fraction) / p_f + self.serial_fraction);
+        let node_seconds: Seconds = (self.cell_update_us * CellUpdates::new(stats.cell_updates))
+            .to_seconds()
+            * self.full_sim_scale
+            / self.cores_per_node;
+        let compute: Seconds =
+            node_seconds * ((1.0 - self.serial_fraction) / p_f + self.serial_fraction);
 
         // Communication: per-round latency grows logarithmically with the
         // node count (tree reductions for dt and regrid consensus). Under
@@ -118,24 +122,24 @@ impl MachineModel {
         // `level_steps` drives this term; `max(steps)` keeps hand-built
         // stats that only fill `steps` behaving as before.
         let sync_rounds = stats.level_steps.max(stats.steps);
-        let latency = sync_rounds as f64
-            * self.full_sim_scale
-            * self.step_latency_us
-            * 1e-6
+        let latency: Seconds = self.step_latency_us.to_seconds()
+            * (sync_rounds as f64 * self.full_sim_scale)
             * (p_f + 1.0).ln();
-        let bandwidth =
-            stats.ghost_cells as f64 * self.full_sim_scale * self.ghost_cell_ns * 1e-9 / p_f;
+        let bandwidth: Seconds = (self.ghost_cell_ns * CellUpdates::new(stats.ghost_cells))
+            .to_seconds()
+            * self.full_sim_scale
+            / p_f;
 
-        let wall = compute + latency + bandwidth;
-        let cost = wall * p_f / 3600.0;
+        let wall: Seconds = compute + latency + bandwidth;
 
-        let total_mb =
-            stats.peak_storage_cells as f64 * self.bytes_per_cell * self.mem_overhead / 1e6;
-        let memory = total_mb / p_f + self.base_mem_mb;
+        let total: Megabytes = (self.bytes_per_cell * CellUpdates::new(stats.peak_storage_cells))
+            .to_megabytes()
+            * self.mem_overhead;
+        let memory: Megabytes = total / p_f + self.base_mem_mb;
 
         MachineOutcome {
             wall_seconds: wall,
-            cost_node_hours: cost,
+            cost_node_hours: wall.node_hours(p_f),
             memory_mb: memory,
         }
     }
@@ -146,11 +150,11 @@ impl MachineModel {
     pub fn evaluate(&self, stats: &WorkStats, p: u32, seed: u64) -> MachineOutcome {
         let exact = self.evaluate_exact(stats, p);
         let mut rng = StdRng::seed_from_u64(seed);
-        let wall = exact.wall_seconds * noise_factor(&mut rng, self.wall_noise_sigma);
-        let memory = exact.memory_mb * noise_factor(&mut rng, self.mem_noise_sigma);
+        let wall: Seconds = exact.wall_seconds * noise_factor(&mut rng, self.wall_noise_sigma);
+        let memory: Megabytes = exact.memory_mb * noise_factor(&mut rng, self.mem_noise_sigma);
         MachineOutcome {
             wall_seconds: wall,
-            cost_node_hours: wall * p as f64 / 3600.0,
+            cost_node_hours: wall.node_hours(p as f64),
             memory_mb: memory,
         }
     }
@@ -175,7 +179,12 @@ mod tests {
     fn cost_is_wall_times_nodes() {
         let m = MachineModel::default();
         let o = m.evaluate_exact(&work(1_000_000, 100, 100_000), 8);
-        assert!((o.cost_node_hours - o.wall_seconds * 8.0 / 3600.0).abs() < 1e-12);
+        assert!(
+            (o.cost_node_hours - o.wall_seconds.node_hours(8.0))
+                .value()
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -183,7 +192,7 @@ mod tests {
         let m = MachineModel::default();
         let small = m.evaluate_exact(&work(1_000_000, 100, 100_000), 8);
         let large = m.evaluate_exact(&work(100_000_000, 1000, 100_000), 8);
-        assert!(large.wall_seconds > 10.0 * small.wall_seconds);
+        assert!(large.wall_seconds > small.wall_seconds * 10.0);
     }
 
     #[test]
@@ -228,15 +237,23 @@ mod tests {
             dear.cost_node_hours,
             cheap.cost_node_hours
         );
-        assert!(cheap.cost_node_hours < 0.05, "{}", cheap.cost_node_hours);
-        assert!(dear.cost_node_hours > 2.0, "{}", dear.cost_node_hours);
+        assert!(
+            cheap.cost_node_hours.value() < 0.05,
+            "{}",
+            cheap.cost_node_hours
+        );
+        assert!(
+            dear.cost_node_hours.value() > 2.0,
+            "{}",
+            dear.cost_node_hours
+        );
         // Memory brackets: cheap config on many nodes ~0.02 MB, expensive
         // config on few nodes tens of MB.
         let cheap_mem = m.evaluate_exact(&work(54_000, 14, 4_500), 32);
-        assert!(cheap_mem.memory_mb < 0.1, "{}", cheap_mem.memory_mb);
+        assert!(cheap_mem.memory_mb.value() < 0.1, "{}", cheap_mem.memory_mb);
         let dear_mem = m.evaluate_exact(&work(1_300_000_000, 440, 1_900_000), 4);
         assert!(
-            dear_mem.memory_mb > 10.0 && dear_mem.memory_mb < 100.0,
+            dear_mem.memory_mb.value() > 10.0 && dear_mem.memory_mb.value() < 100.0,
             "{}",
             dear_mem.memory_mb
         );
@@ -275,7 +292,12 @@ mod tests {
         let exact = m.evaluate_exact(&w, 8);
         assert!((a.wall_seconds / exact.wall_seconds - 1.0).abs() < 0.5);
         // Cost/wall consistency holds for noisy outcomes too.
-        assert!((a.cost_node_hours - a.wall_seconds * 8.0 / 3600.0).abs() < 1e-12);
+        assert!(
+            (a.cost_node_hours - a.wall_seconds.node_hours(8.0))
+                .value()
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -6,19 +6,21 @@ use crate::error::AmrError;
 use crate::machine::{MachineModel, MachineOutcome};
 use crate::shockbubble::SimulationConfig;
 use crate::solver::{AmrSolver, SolverProfile, WorkStats};
+use al_units::{Megabytes, NodeHours, Seconds};
 
 /// Everything a completed "job" reports back (the paper collected the
-/// analogous records from FORESTCLAW output and SLURM accounting).
+/// analogous records from FORESTCLAW output and SLURM accounting). The
+/// three responses carry their units in the type.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimulationOutcome {
     /// The configuration that ran.
     pub config: SimulationConfig,
-    /// Wall-clock seconds (response 1 of Table I).
-    pub wall_seconds: f64,
+    /// Wall-clock time (response 1 of Table I).
+    pub wall_seconds: Seconds,
     /// Cost in node-hours (response 2).
-    pub cost_node_hours: f64,
-    /// MaxRSS per process in MB (response 3).
-    pub memory_mb: f64,
+    pub cost_node_hours: NodeHours,
+    /// MaxRSS per process (response 3).
+    pub memory_mb: Megabytes,
     /// Raw work counters, for diagnostics and the Criterion benches.
     pub work: WorkStats,
 }
@@ -48,11 +50,11 @@ pub struct SimulationOutcome {
 /// let config = SimulationConfig { p: 8, mx: 8, maxlevel: 3, r0: 0.3, rhoin: 0.1 };
 /// let outcome = run_simulation(&config, SolverProfile::smoke(), &MachineModel::default(), 0)
 ///     .expect("simulation");
-/// assert!(outcome.cost_node_hours > 0.0);
-/// assert!(outcome.memory_mb > 0.0);
+/// assert!(outcome.cost_node_hours.value() > 0.0);
+/// assert!(outcome.memory_mb.value() > 0.0);
 /// // Cost is exactly wall-clock × nodes (in hours).
-/// let expected = outcome.wall_seconds * 8.0 / 3600.0;
-/// assert!((outcome.cost_node_hours - expected).abs() < 1e-12);
+/// let expected = outcome.wall_seconds.node_hours(8.0);
+/// assert!((outcome.cost_node_hours - expected).value().abs() < 1e-12);
 /// ```
 pub fn run_simulation(
     config: &SimulationConfig,
@@ -135,9 +137,10 @@ mod tests {
     fn responses_are_positive_and_consistent() {
         let m = MachineModel::default();
         let o = run_simulation(&config(), SolverProfile::smoke(), &m, 0).unwrap();
-        assert!(o.wall_seconds > 0.0);
-        assert!(o.memory_mb > 0.0);
-        assert!((o.cost_node_hours - o.wall_seconds * o.config.p as f64 / 3600.0).abs() < 1e-12);
+        assert!(o.wall_seconds.value() > 0.0);
+        assert!(o.memory_mb.value() > 0.0);
+        let expected = o.wall_seconds.node_hours(o.config.p as f64);
+        assert!((o.cost_node_hours - expected).value().abs() < 1e-12);
     }
 
     #[test]
@@ -173,7 +176,7 @@ mod tests {
             0,
         )
         .unwrap();
-        assert!(deep.cost_node_hours > 3.0 * shallow.cost_node_hours);
+        assert!(deep.cost_node_hours > shallow.cost_node_hours * 3.0);
         assert!(deep.memory_mb > shallow.memory_mb);
     }
 }

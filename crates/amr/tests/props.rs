@@ -158,7 +158,7 @@ proptest! {
         prop_assert!(large.wall_seconds > small.wall_seconds);
         prop_assert!(large.cost_node_hours > small.cost_node_hours);
         prop_assert!(large.memory_mb >= small.memory_mb);
-        prop_assert!(small.wall_seconds > 0.0 && small.memory_mb > 0.0);
+        prop_assert!(small.wall_seconds.value() > 0.0 && small.memory_mb.value() > 0.0);
     }
 
     #[test]

@@ -33,7 +33,7 @@ fn bench_strategy_select(c: &mut Criterion) {
                 sigma_cost: &sigma_cost,
                 mu_mem: &mu_mem,
                 sigma_mem: &sigma_mem,
-                mem_limit_log: Some(1.0),
+                mem_limit_log: Some(al_units::LogMegabytes::new(1.0)),
             };
             b.iter(|| black_box(strategy.select(&ctx, &mut rng)));
         });
@@ -55,9 +55,9 @@ fn synth_dataset(n: usize) -> Dataset {
             let work = 4f64.powi(config.maxlevel as i32 - 3) * (config.mx as f64 / 8.0).powi(2);
             Sample {
                 config,
-                wall_seconds: 10.0 * work,
-                cost_node_hours: 0.01 * work,
-                memory_mb: 0.4 * work / config.p as f64 + 0.01,
+                wall_seconds: al_units::Seconds::new(10.0 * work),
+                cost_node_hours: al_units::NodeHours::new(0.01 * work),
+                memory_mb: al_units::Megabytes::new(0.4 * work / config.p as f64 + 0.01),
             }
         })
         .collect();

@@ -25,7 +25,7 @@ fn main() {
     );
     for quantile in [0.30, 0.50, 0.75, 0.85, 0.95, 1.00] {
         let lmem_log = dataset.memory_limit_log(quantile);
-        let lmem_raw = 10f64.powf(lmem_log);
+        let lmem_raw = lmem_log.to_megabytes();
         let feasible = partition
             .active
             .iter()

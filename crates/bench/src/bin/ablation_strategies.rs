@@ -48,7 +48,7 @@ fn main() {
     );
     println!(
         "L_mem = {:.2} MB ({:.1}% of jobs violate)\n",
-        10f64.powf(lmem_log),
+        lmem_log.to_megabytes(),
         100.0 * dataset.violating_fraction(lmem_log)
     );
     println!(
@@ -56,8 +56,8 @@ fn main() {
         "strategy", "mean CR", "mean CC", "violations", "final RMSE", "median cost"
     );
     for (kind, ts) in &results {
-        let crs: Vec<f64> = ts.iter().map(|t| t.total_regret()).collect();
-        let ccs: Vec<f64> = ts.iter().map(|t| t.total_cost()).collect();
+        let crs: Vec<f64> = ts.iter().map(|t| t.total_regret().value()).collect();
+        let ccs: Vec<f64> = ts.iter().map(|t| t.total_cost().value()).collect();
         let viol: Vec<f64> = ts.iter().map(|t| t.violations() as f64).collect();
         let rmse: Vec<f64> = ts
             .iter()

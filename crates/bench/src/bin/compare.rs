@@ -56,7 +56,7 @@ fn main() {
         if matches!(kind, StrategyKind::Rgma { .. }) {
             continue;
         }
-        let (rw, ow) = paired_wins(rgma, ts, |t| t.total_regret());
+        let (rw, ow) = paired_wins(rgma, ts, |t| t.total_regret().value());
         let p_regret = sign_test_p(rw, rw + ow);
         let (rw2, ow2) = paired_wins(rgma, ts, |t| {
             t.records.last().map(|r| r.rmse_cost).unwrap_or(f64::NAN)

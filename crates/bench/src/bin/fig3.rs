@@ -31,7 +31,7 @@ fn main() {
     println!(
         "FIG 3: cumulative regret vs iteration (L_mem = {:.3} log10 MB = {:.2} MB, {:.1}% of jobs violate)\n",
         lmem_log,
-        10f64.powf(lmem_log),
+        lmem_log.to_megabytes(),
         100.0 * dataset.violating_fraction(lmem_log)
     );
 
@@ -60,12 +60,12 @@ fn main() {
         let labels: Vec<&str> = results.iter().map(|(k, _)| k.label()).collect();
         let curves: Vec<Vec<f64>> = results
             .iter()
-            .map(|(_, ts)| mean_curve(ts, |r| r.cumulative_regret))
+            .map(|(_, ts)| mean_curve(ts, |r| r.cumulative_regret.value()))
             .collect();
         println!("{}", format_curves(&labels, &curves, 20));
         for (kind, ts) in &results {
             let mean_regret: f64 =
-                ts.iter().map(|t| t.total_regret()).sum::<f64>() / ts.len().max(1) as f64;
+                ts.iter().map(|t| t.total_regret().value()).sum::<f64>() / ts.len().max(1) as f64;
             let mean_violations: f64 =
                 ts.iter().map(|t| t.violations() as f64).sum::<f64>() / ts.len().max(1) as f64;
             let stopped_early = ts

@@ -69,7 +69,7 @@ fn main() {
 
         println!("(c) cost-model RMSE vs cumulative cost (node-hours)");
         for (kind, ts) in &results {
-            let cc = mean_curve(ts, |r| r.cumulative_cost);
+            let cc = mean_curve(ts, |r| r.cumulative_cost.value());
             let rm = mean_curve(ts, |r| r.rmse_cost);
             // Sample a few milestones along the cumulative-cost axis.
             print!("{:<14}", kind.label());
@@ -93,7 +93,8 @@ fn main() {
                 .filter_map(|t| t.records.last().map(|r| r.rmse_cost))
                 .sum::<f64>()
                 / ts.len().max(1) as f64;
-            let cost: f64 = ts.iter().map(|t| t.total_cost()).sum::<f64>() / ts.len().max(1) as f64;
+            let cost: f64 =
+                ts.iter().map(|t| t.total_cost().value()).sum::<f64>() / ts.len().max(1) as f64;
             println!(
                 "{:<14} initial {init:8.4} -> final {fin:8.4}  (mean total cost {cost:8.2} node-hours)",
                 kind.label()
@@ -110,7 +111,11 @@ fn main() {
 /// Eq. 12 ablation: compare uniform and cost-weighted RMSE of a model
 /// trained by RandGoodness — expensive-region errors dominate the weighted
 /// metric, showing why scale-dependent weighting matters for cost-aware AL.
-fn weighted_rmse_report(dataset: &al_dataset::Dataset, args: &Args, lmem_log: f64) {
+fn weighted_rmse_report(
+    dataset: &al_dataset::Dataset,
+    args: &Args,
+    lmem_log: al_units::LogMegabytes,
+) {
     use al_core::metrics::{cost_weights, rmse_nonlog, weighted_rmse_nonlog};
     use al_core::run_trajectory;
     use al_dataset::Partition;

@@ -22,6 +22,6 @@ fn main() {
     println!(
         "memory limit L_mem (95% of max log10 memory): {:.3} log10 MB = {:.2} MB",
         dataset.memory_limit_log(0.95),
-        10f64.powf(dataset.memory_limit_log(0.95))
+        dataset.memory_limit_log(0.95).to_megabytes()
     );
 }

@@ -28,7 +28,7 @@ impl Default for Args {
 }
 
 impl Args {
-    /// Parse from an iterator of argument strings (excluding argv[0]).
+    /// Parse from an iterator of argument strings (excluding `argv[0]`).
     pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
         let mut out = Args::default();
         let mut it = args.into_iter();

@@ -54,13 +54,13 @@ pub fn summarize(trajectories: &[Trajectory]) -> StrategyStats {
         total_cost: mean_std(
             &trajectories
                 .iter()
-                .map(|t| t.total_cost())
+                .map(|t| t.total_cost().value())
                 .collect::<Vec<_>>(),
         ),
         total_regret: mean_std(
             &trajectories
                 .iter()
-                .map(|t| t.total_regret())
+                .map(|t| t.total_regret().value())
                 .collect::<Vec<_>>(),
         ),
         mean_violations: stats::mean(
@@ -165,11 +165,11 @@ mod tests {
             records: vec![IterationRecord {
                 iteration: 0,
                 dataset_index: 0,
-                cost: total_cost,
-                memory: 1.0,
-                regret,
-                cumulative_cost: total_cost,
-                cumulative_regret: regret,
+                cost: al_units::NodeHours::new(total_cost),
+                memory: al_units::Megabytes::new(1.0),
+                regret: al_units::NodeHours::new(regret),
+                cumulative_cost: al_units::NodeHours::new(total_cost),
+                cumulative_regret: al_units::NodeHours::new(regret),
                 rmse_cost: final_rmse,
                 rmse_mem: final_rmse * 2.0,
             }],

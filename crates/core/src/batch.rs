@@ -129,7 +129,7 @@ mod tests {
             },
             optimize_every: 10,
             max_iterations: Some(8),
-            mem_limit_log: Some(1.0),
+            mem_limit_log: Some(al_units::LogMegabytes::new(1.0)),
             ..AlOptions::default()
         }
     }

@@ -1,6 +1,8 @@
 //! What a selection algorithm is allowed to see: the GP predictions for
 //! every remaining candidate (paper Algorithm 1, lines 3–5).
 
+use al_units::LogMegabytes;
+
 /// Model predictions over the remaining Active candidates, all in the
 /// transformed spaces the models work in (log10 responses, unit-cube
 /// features). Index `i` refers to the `i`-th remaining candidate; the
@@ -16,7 +18,7 @@ pub struct SelectionContext<'a> {
     /// Memory-model posterior standard deviations `σ_mem`.
     pub sigma_mem: &'a [f64],
     /// Memory limit `L_mem` in log10 MB, when the workflow imposes one.
-    pub mem_limit_log: Option<f64>,
+    pub mem_limit_log: Option<LogMegabytes>,
 }
 
 impl<'a> SelectionContext<'a> {

@@ -4,6 +4,7 @@
 
 use crate::stopping::StopReason;
 use crate::trajectory::{IterationRecord, Trajectory};
+use al_units::{Megabytes, NodeHours};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -135,11 +136,11 @@ pub fn read_trajectory_csv(path: &Path) -> io::Result<Trajectory> {
         records.push(IterationRecord {
             iteration: pu(0)?,
             dataset_index: pu(1)?,
-            cost: pf(2)?,
-            memory: pf(3)?,
-            regret: pf(4)?,
-            cumulative_cost: pf(5)?,
-            cumulative_regret: pf(6)?,
+            cost: NodeHours::new(pf(2)?),
+            memory: Megabytes::new(pf(3)?),
+            regret: NodeHours::new(pf(4)?),
+            cumulative_cost: NodeHours::new(pf(5)?),
+            cumulative_regret: NodeHours::new(pf(6)?),
             rmse_cost: pf(7)?,
             rmse_mem: pf(8)?,
         });
@@ -168,11 +169,11 @@ mod tests {
                 .map(|i| IterationRecord {
                     iteration: i,
                     dataset_index: 100 + i,
-                    cost: 0.1 * (i + 1) as f64,
-                    memory: 1.0 + i as f64,
-                    regret: if i == 3 { 0.4 } else { 0.0 },
-                    cumulative_cost: 0.1 * ((i + 1) * (i + 2) / 2) as f64,
-                    cumulative_regret: if i >= 3 { 0.4 } else { 0.0 },
+                    cost: NodeHours::new(0.1 * (i + 1) as f64),
+                    memory: Megabytes::new(1.0 + i as f64),
+                    regret: NodeHours::new(if i == 3 { 0.4 } else { 0.0 }),
+                    cumulative_cost: NodeHours::new(0.1 * ((i + 1) * (i + 2) / 2) as f64),
+                    cumulative_regret: NodeHours::new(if i >= 3 { 0.4 } else { 0.0 }),
                     rmse_cost: 1.0 / (i + 1) as f64,
                     rmse_mem: 2.0 / (i + 1) as f64,
                 })

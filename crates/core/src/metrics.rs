@@ -4,6 +4,7 @@
 
 use al_dataset::transform::unlog10_response;
 use al_linalg::stats;
+use al_units::{Megabytes, NodeHours};
 
 /// RMSE between model predictions (in log10 space, as the GPs produce
 /// them) and raw responses: predictions are exponentiated back to natural
@@ -45,35 +46,40 @@ pub fn cost_weights(costs: &[f64]) -> Vec<f64> {
 /// whole cost is the individual regret `IR_i = c_i`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CumulativeTracker {
-    cc: f64,
-    cr: f64,
+    cc: NodeHours,
+    cr: NodeHours,
     violations: u32,
 }
 
 impl CumulativeTracker {
     /// Record one selected experiment. `mem_limit_raw` is the limit in
-    /// natural units (MB); `None` disables regret accounting.
+    /// natural units; `None` disables regret accounting.
     /// Returns the individual regret of this selection.
-    pub fn record(&mut self, cost: f64, memory: f64, mem_limit_raw: Option<f64>) -> f64 {
+    pub fn record(
+        &mut self,
+        cost: NodeHours,
+        memory: Megabytes,
+        mem_limit_raw: Option<Megabytes>,
+    ) -> NodeHours {
         self.cc += cost;
         let ir = match mem_limit_raw {
             Some(limit) if memory >= limit => {
                 self.violations += 1;
                 cost
             }
-            _ => 0.0,
+            _ => NodeHours::default(),
         };
         self.cr += ir;
         ir
     }
 
     /// Cumulative cost `CC = Σ c_i` so far.
-    pub fn cumulative_cost(&self) -> f64 {
+    pub fn cumulative_cost(&self) -> NodeHours {
         self.cc
     }
 
     /// Cumulative regret `CR = Σ IR_i` so far.
-    pub fn cumulative_regret(&self) -> f64 {
+    pub fn cumulative_regret(&self) -> NodeHours {
         self.cr
     }
 
@@ -124,24 +130,26 @@ mod tests {
 
     #[test]
     fn tracker_accumulates_cost_and_regret() {
+        let nh = NodeHours::new;
+        let mb = Megabytes::new;
         let mut t = CumulativeTracker::default();
         // Under the limit: cost counted, no regret.
-        assert_eq!(t.record(2.0, 5.0, Some(10.0)), 0.0);
+        assert_eq!(t.record(nh(2.0), mb(5.0), Some(mb(10.0))), nh(0.0));
         // At the limit: counts as a violation (m >= L).
-        assert_eq!(t.record(3.0, 10.0, Some(10.0)), 3.0);
+        assert_eq!(t.record(nh(3.0), mb(10.0), Some(mb(10.0))), nh(3.0));
         // Above the limit.
-        assert_eq!(t.record(1.5, 20.0, Some(10.0)), 1.5);
-        assert!((t.cumulative_cost() - 6.5).abs() < 1e-12);
-        assert!((t.cumulative_regret() - 4.5).abs() < 1e-12);
+        assert_eq!(t.record(nh(1.5), mb(20.0), Some(mb(10.0))), nh(1.5));
+        assert!((t.cumulative_cost().value() - 6.5).abs() < 1e-12);
+        assert!((t.cumulative_regret().value() - 4.5).abs() < 1e-12);
         assert_eq!(t.violations(), 2);
     }
 
     #[test]
     fn tracker_without_limit_never_regrets() {
         let mut t = CumulativeTracker::default();
-        t.record(2.0, 1e9, None);
-        assert_eq!(t.cumulative_regret(), 0.0);
+        t.record(NodeHours::new(2.0), Megabytes::new(1e9), None);
+        assert_eq!(t.cumulative_regret().value(), 0.0);
         assert_eq!(t.violations(), 0);
-        assert_eq!(t.cumulative_cost(), 2.0);
+        assert_eq!(t.cumulative_cost().value(), 2.0);
     }
 }

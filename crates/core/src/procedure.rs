@@ -6,10 +6,10 @@ use crate::metrics::{self, CumulativeTracker};
 use crate::stopping::{StabilizationDetector, StopReason, VectorStabilization};
 use crate::strategy::StrategyKind;
 use crate::trajectory::{IterationRecord, Trajectory};
-use al_dataset::transform::unlog10_response;
 use al_dataset::{Dataset, Partition};
 use al_gp::{FitOptions, GpError, GpModel, KernelKind};
 use al_linalg::Matrix;
+use al_units::{LogMegabytes, Megabytes, NodeHours};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -41,7 +41,7 @@ pub struct AlOptions {
     pub batch_size: usize,
     /// Memory limit `L_mem` in log10 MB. Required by RGMA; also enables
     /// regret accounting for every strategy.
-    pub mem_limit_log: Option<f64>,
+    pub mem_limit_log: Option<LogMegabytes>,
     /// Optional stabilizing-predictions early stop `(window, tolerance)`.
     pub stabilization: Option<(usize, f64)>,
     /// Optional stabilizing-hyperparameters early stop
@@ -155,7 +155,7 @@ pub fn run_trajectory(
     let (initial_rmse_cost, initial_rmse_mem) = test_rmse(&gp_cost, &gp_mem)?;
 
     let mut active: Vec<usize> = partition.active.clone();
-    let mem_limit_raw = opts.mem_limit_log.map(unlog10_response);
+    let mem_limit_raw = opts.mem_limit_log.map(|l| l.to_megabytes());
     let mut tracker = CumulativeTracker::default();
     let mut detector = opts
         .stabilization
@@ -226,7 +226,8 @@ pub fn run_trajectory(
         // Lines 6–9: acquire the batch. With incremental updates enabled,
         // each sample is absorbed by an O(n²) bordered-Cholesky update on
         // the spot; otherwise the models refit once after the batch.
-        let mut acquired: Vec<(usize, f64, f64, f64, f64, f64)> = Vec::new();
+        let mut acquired: Vec<(usize, NodeHours, Megabytes, NodeHours, NodeHours, NodeHours)> =
+            Vec::new();
         for &dataset_index in &picked {
             let sample = dataset.sample(dataset_index);
             let cost = sample.cost_node_hours;
@@ -335,9 +336,9 @@ pub(crate) mod test_util {
                 let memory = 0.05 * work * 8.0 / config.p as f64 + 0.01;
                 Sample {
                     config,
-                    wall_seconds: cost * 3600.0 / config.p as f64,
-                    cost_node_hours: cost,
-                    memory_mb: memory,
+                    wall_seconds: al_units::Seconds::new(cost * 3600.0 / config.p as f64),
+                    cost_node_hours: al_units::NodeHours::new(cost),
+                    memory_mb: al_units::Megabytes::new(memory),
                 }
             })
             .collect();
@@ -450,7 +451,7 @@ mod tests {
             rgma.total_regret() < uniform.total_regret(),
             "RGMA regret {} vs uniform {}",
             rgma.total_regret(),
-            uniform.total_regret()
+            uniform.total_regret(),
         );
         assert!(rgma.violations() < uniform.violations());
     }
@@ -460,7 +461,7 @@ mod tests {
         let d = synth_dataset(48);
         let p = partition(&d, 4, 6);
         let limit_log = d.memory_limit_log(0.8);
-        let limit_raw = unlog10_response(limit_log);
+        let limit_raw = limit_log.to_megabytes();
         let opts = AlOptions {
             mem_limit_log: Some(limit_log),
             ..fast_opts()
@@ -468,9 +469,9 @@ mod tests {
         let t = run_trajectory(&d, &p, StrategyKind::RandUniform, &opts).unwrap();
         for r in &t.records {
             if r.memory >= limit_raw {
-                assert!((r.regret - r.cost).abs() < 1e-12);
+                assert!((r.regret - r.cost).value().abs() < 1e-12);
             } else {
-                assert_eq!(r.regret, 0.0);
+                assert_eq!(r.regret.value(), 0.0);
             }
         }
     }
@@ -603,7 +604,7 @@ mod tests {
             (ri - rf).abs() < 0.05 * (ri + rf),
             "final RMSE diverged: {ri} vs {rf}"
         );
-        assert!((inc.total_cost() - full.total_cost()).abs() < 1e-9);
+        assert!((inc.total_cost() - full.total_cost()).value().abs() < 1e-9);
     }
 
     #[test]

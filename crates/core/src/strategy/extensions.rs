@@ -27,7 +27,7 @@ impl SelectionStrategy for MaxSigmaMa {
         // (None) is the safe degradation.
         let limit = ctx.mem_limit_log?;
         (0..ctx.len())
-            .filter(|&i| ctx.mu_mem[i] < limit)
+            .filter(|&i| limit.admits(ctx.mu_mem[i]))
             .max_by(|&a, &b| {
                 ctx.sigma_cost[a]
                     .partial_cmp(&ctx.sigma_cost[b])
@@ -81,7 +81,7 @@ mod tests {
     #[test]
     fn max_sigma_ma_filters_then_maximizes_uncertainty() {
         let mut owned = OwnedContext::uniform(4);
-        owned.mem_limit_log = Some(1.0);
+        owned.mem_limit_log = Some(al_units::LogMegabytes::new(1.0));
         owned.mu_mem = vec![0.5, 0.5, 2.0, 0.5]; // candidate 2 violates
         owned.sigma_cost = vec![0.1, 0.3, 0.9, 0.2]; // ...but is most uncertain
         let mut rng = StdRng::seed_from_u64(1);
@@ -91,7 +91,7 @@ mod tests {
     #[test]
     fn max_sigma_ma_refuses_when_everything_violates() {
         let mut owned = OwnedContext::uniform(2);
-        owned.mem_limit_log = Some(-1.0);
+        owned.mem_limit_log = Some(al_units::LogMegabytes::new(-1.0));
         let mut rng = StdRng::seed_from_u64(2);
         assert_eq!(MaxSigmaMa.select(&owned.ctx(), &mut rng), None);
     }

@@ -180,7 +180,7 @@ pub(crate) mod test_util {
         pub(crate) sigma_cost: Vec<f64>,
         pub(crate) mu_mem: Vec<f64>,
         pub(crate) sigma_mem: Vec<f64>,
-        pub(crate) mem_limit_log: Option<f64>,
+        pub(crate) mem_limit_log: Option<al_units::LogMegabytes>,
     }
 
     impl OwnedContext {

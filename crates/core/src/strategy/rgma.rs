@@ -40,7 +40,9 @@ impl SelectionStrategy for Rgma {
         let limit = ctx.mem_limit_log?;
         // Algorithm 2, lines 1–2: classify candidates as satisfying
         // (μ_mem < L_mem) or exceeding.
-        let satisfying: Vec<usize> = (0..ctx.len()).filter(|&i| ctx.mu_mem[i] < limit).collect();
+        let satisfying: Vec<usize> = (0..ctx.len())
+            .filter(|&i| limit.admits(ctx.mu_mem[i]))
+            .collect();
         // Lines 3–5: goodness-weighted draw over the satisfying set.
         let weights = goodness_weights(self.base, ctx.mu_cost, ctx.sigma_cost, &satisfying)?;
         weighted_index(rng, &weights).map(|k| satisfying[k])
@@ -56,7 +58,7 @@ mod tests {
 
     fn ctx_with_limit(n: usize, limit: f64) -> OwnedContext {
         let mut owned = OwnedContext::uniform(n);
-        owned.mem_limit_log = Some(limit);
+        owned.mem_limit_log = Some(al_units::LogMegabytes::new(limit));
         owned
     }
 

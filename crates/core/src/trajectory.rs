@@ -2,6 +2,7 @@
 //! figure of the paper is computed from.
 
 use crate::stopping::StopReason;
+use al_units::{Megabytes, NodeHours};
 
 /// What happened at one AL iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -10,16 +11,16 @@ pub struct IterationRecord {
     pub iteration: usize,
     /// Dataset row index of the selected experiment.
     pub dataset_index: usize,
-    /// Actual cost of the selected experiment (node-hours).
-    pub cost: f64,
-    /// Actual memory of the selected experiment (MB).
-    pub memory: f64,
+    /// Actual cost of the selected experiment.
+    pub cost: NodeHours,
+    /// Actual memory of the selected experiment.
+    pub memory: Megabytes,
     /// Individual regret `IR_i` of this selection (Eq. 11).
-    pub regret: f64,
+    pub regret: NodeHours,
     /// Cumulative cost `CC` up to and including this iteration.
-    pub cumulative_cost: f64,
+    pub cumulative_cost: NodeHours,
     /// Cumulative regret `CR` up to and including this iteration.
-    pub cumulative_regret: f64,
+    pub cumulative_regret: NodeHours,
     /// Non-log RMSE of the cost model on the Test partition after
     /// retraining with this sample.
     pub rmse_cost: f64,
@@ -56,24 +57,36 @@ impl Trajectory {
         self.records.is_empty()
     }
 
-    /// Actual costs of the first `n` selections (Fig. 2's violin input).
+    /// Actual costs of the first `n` selections (Fig. 2's violin input),
+    /// as bare node-hour magnitudes ready for violin statistics.
     pub fn selected_costs(&self, n: usize) -> Vec<f64> {
-        self.records.iter().take(n).map(|r| r.cost).collect()
+        self.records
+            .iter()
+            .take(n)
+            .map(|r| r.cost.value())
+            .collect()
     }
 
     /// Final cumulative cost.
-    pub fn total_cost(&self) -> f64 {
-        self.records.last().map_or(0.0, |r| r.cumulative_cost)
+    pub fn total_cost(&self) -> NodeHours {
+        self.records
+            .last()
+            .map_or(NodeHours::default(), |r| r.cumulative_cost)
     }
 
     /// Final cumulative regret.
-    pub fn total_regret(&self) -> f64 {
-        self.records.last().map_or(0.0, |r| r.cumulative_regret)
+    pub fn total_regret(&self) -> NodeHours {
+        self.records
+            .last()
+            .map_or(NodeHours::default(), |r| r.cumulative_regret)
     }
 
     /// Number of memory-violating selections.
     pub fn violations(&self) -> usize {
-        self.records.iter().filter(|r| r.regret > 0.0).count()
+        self.records
+            .iter()
+            .filter(|r| r.regret.value() > 0.0)
+            .count()
     }
 }
 
@@ -123,11 +136,11 @@ mod tests {
         IterationRecord {
             iteration: i,
             dataset_index: i,
-            cost,
-            memory: 1.0,
-            regret,
-            cumulative_cost: 0.0,
-            cumulative_regret: 0.0,
+            cost: NodeHours::new(cost),
+            memory: Megabytes::new(1.0),
+            regret: NodeHours::new(regret),
+            cumulative_cost: NodeHours::default(),
+            cumulative_regret: NodeHours::default(),
             rmse_cost: 1.0 / (i + 1) as f64,
             rmse_mem: 2.0 / (i + 1) as f64,
         }
@@ -136,7 +149,7 @@ mod tests {
     fn trajectory(n: usize) -> Trajectory {
         let mut records: Vec<IterationRecord> =
             (0..n).map(|i| record(i, (i + 1) as f64, 0.0)).collect();
-        let mut cc = 0.0;
+        let mut cc = NodeHours::default();
         for r in &mut records {
             cc += r.cost;
             r.cumulative_cost = cc;
@@ -158,15 +171,15 @@ mod tests {
         assert!(!t.is_empty());
         assert_eq!(t.selected_costs(2), vec![1.0, 2.0]);
         assert_eq!(t.selected_costs(10).len(), 3);
-        assert!((t.total_cost() - 6.0).abs() < 1e-12);
-        assert_eq!(t.total_regret(), 0.0);
+        assert!((t.total_cost().value() - 6.0).abs() < 1e-12);
+        assert_eq!(t.total_regret().value(), 0.0);
         assert_eq!(t.violations(), 0);
     }
 
     #[test]
     fn violations_count_positive_regrets() {
         let mut t = trajectory(3);
-        t.records[1].regret = 2.0;
+        t.records[1].regret = NodeHours::new(2.0);
         assert_eq!(t.violations(), 1);
     }
 
@@ -174,7 +187,7 @@ mod tests {
     fn mean_curve_handles_ragged_lengths() {
         let a = trajectory(3);
         let b = trajectory(1);
-        let curve = mean_curve(&[a, b], |r| r.cost);
+        let curve = mean_curve(&[a, b], |r| r.cost.value());
         assert_eq!(curve.len(), 3);
         assert!((curve[0] - 1.0).abs() < 1e-12); // both contribute 1.0
         assert!((curve[1] - 2.0).abs() < 1e-12); // only the longer one
@@ -183,22 +196,22 @@ mod tests {
 
     #[test]
     fn mean_curve_of_nothing_is_empty() {
-        assert!(mean_curve(&[], |r| r.cost).is_empty());
+        assert!(mean_curve(&[], |r| r.cost.value()).is_empty());
     }
 
     #[test]
     fn quantile_curve_brackets_mean_curve() {
         let ts: Vec<Trajectory> = (1..=4).map(|n| trajectory(n * 2)).collect();
-        let lo = quantile_curve(&ts, 0.0, |r| r.cost);
-        let mid = mean_curve(&ts, |r| r.cost);
-        let hi = quantile_curve(&ts, 1.0, |r| r.cost);
+        let lo = quantile_curve(&ts, 0.0, |r| r.cost.value());
+        let mid = mean_curve(&ts, |r| r.cost.value());
+        let hi = quantile_curve(&ts, 1.0, |r| r.cost.value());
         assert_eq!(lo.len(), mid.len());
         for i in 0..mid.len() {
             assert!(lo[i] <= mid[i] + 1e-12 && mid[i] <= hi[i] + 1e-12);
         }
         // The median of identical trajectories equals their value.
         let same = vec![trajectory(3), trajectory(3)];
-        let med = quantile_curve(&same, 0.5, |r| r.cost);
+        let med = quantile_curve(&same, 0.5, |r| r.cost.value());
         assert_eq!(med, vec![1.0, 2.0, 3.0]);
     }
 }

@@ -41,7 +41,7 @@ proptest! {
             sigma_cost: &sg_c,
             mu_mem: &mu_m,
             sigma_mem: &sg_m,
-            mem_limit_log: Some(10.0), // permissive: nothing filtered
+            mem_limit_log: Some(al_units::LogMegabytes::new(10.0)), // permissive: nothing filtered
         };
         let mut rng = StdRng::seed_from_u64(seed);
         for kind in StrategyKind::paper_five() {
@@ -62,7 +62,7 @@ proptest! {
             sigma_cost: &sg_c,
             mu_mem: &mu_m,
             sigma_mem: &sg_m,
-            mem_limit_log: Some(limit),
+            mem_limit_log: Some(al_units::LogMegabytes::new(limit)),
         };
         let mut rng = StdRng::seed_from_u64(seed);
         let rgma = StrategyKind::Rgma { base: 10.0 }.build();
@@ -101,13 +101,17 @@ proptest! {
     ) {
         let mut t = CumulativeTracker::default();
         for (cost, mem) in &jobs {
-            t.record(*cost, *mem, Some(limit));
+            t.record(
+                al_units::NodeHours::new(*cost),
+                al_units::Megabytes::new(*mem),
+                Some(al_units::Megabytes::new(limit)),
+            );
         }
-        prop_assert!(t.cumulative_regret() <= t.cumulative_cost() + 1e-12);
+        prop_assert!(t.cumulative_regret().value() <= t.cumulative_cost().value() + 1e-12);
         prop_assert!(t.violations() as usize <= jobs.len());
         // Regret equals the sum of costs of violating jobs exactly.
         let expected: f64 = jobs.iter().filter(|(_, m)| *m >= limit).map(|(c, _)| c).sum();
-        prop_assert!((t.cumulative_regret() - expected).abs() < 1e-9);
+        prop_assert!((t.cumulative_regret().value() - expected).abs() < 1e-9);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use crate::sample::Sample;
 use crate::transform::{log10_response, FeatureScaler};
 use al_linalg::Matrix;
+use al_units::LogMegabytes;
 
 /// Optional per-feature pre-transform applied *before* min–max scaling.
 ///
@@ -54,7 +55,9 @@ impl Dataset {
         assert!(!samples.is_empty(), "dataset cannot be empty");
         for s in &samples {
             assert!(
-                s.cost_node_hours > 0.0 && s.memory_mb > 0.0 && s.wall_seconds > 0.0,
+                s.cost_node_hours.value() > 0.0
+                    && s.memory_mb.value() > 0.0
+                    && s.wall_seconds.value() > 0.0,
                 "responses must be positive"
             );
         }
@@ -113,24 +116,28 @@ impl Dataset {
             .transform(&self.map.apply(&self.samples[index].features()))
     }
 
-    /// Raw cost responses (node-hours) for the given indices.
+    /// Raw cost responses as bare node-hour magnitudes for the given
+    /// indices — the numeric-kernel view the GP and metrics consume.
     pub fn raw_cost(&self, indices: &[usize]) -> Vec<f64> {
         indices
             .iter()
-            .map(|&i| self.samples[i].cost_node_hours)
+            .map(|&i| self.samples[i].cost_node_hours.value())
             .collect()
     }
 
-    /// Raw memory responses (MB) for the given indices.
+    /// Raw memory responses as bare MB magnitudes for the given indices.
     pub fn raw_memory(&self, indices: &[usize]) -> Vec<f64> {
-        indices.iter().map(|&i| self.samples[i].memory_mb).collect()
+        indices
+            .iter()
+            .map(|&i| self.samples[i].memory_mb.value())
+            .collect()
     }
 
     /// `log10` cost responses — what the cost GP trains on.
     pub fn log_cost(&self, indices: &[usize]) -> Vec<f64> {
         indices
             .iter()
-            .map(|&i| log10_response(self.samples[i].cost_node_hours))
+            .map(|&i| log10_response(self.samples[i].cost_node_hours.value()))
             .collect()
     }
 
@@ -138,20 +145,20 @@ impl Dataset {
     pub fn log_memory(&self, indices: &[usize]) -> Vec<f64> {
         indices
             .iter()
-            .map(|&i| log10_response(self.samples[i].memory_mb))
+            .map(|&i| log10_response(self.samples[i].memory_mb.value()))
             .collect()
     }
 
     /// The paper's memory limit: the `quantile`-fraction of the largest
     /// log-transformed memory response, returned in log10 MB. The paper
     /// uses 0.95 ("95% of the largest log-transformed memory usage").
-    pub fn memory_limit_log(&self, quantile: f64) -> f64 {
+    pub fn memory_limit_log(&self, quantile: f64) -> LogMegabytes {
         let max_log = self
             .samples
             .iter()
-            .map(|s| log10_response(s.memory_mb))
+            .map(|s| log10_response(s.memory_mb.value()))
             .fold(f64::NEG_INFINITY, f64::max);
-        max_log * quantile
+        LogMegabytes::new(max_log * quantile)
     }
 
     /// Alternative limit definition: the `q`-quantile of the memory
@@ -160,14 +167,14 @@ impl Dataset {
     /// Our machine model's memory tail is shorter than Edison's (the
     /// paper's limit left a sizeable violating fraction); this definition
     /// pins that fraction directly, which the regret experiments need.
-    pub fn memory_limit_log_percentile(&self, q: f64) -> f64 {
-        let mems: Vec<f64> = self.samples.iter().map(|s| s.memory_mb).collect();
-        log10_response(al_linalg::stats::quantile(&mems, q))
+    pub fn memory_limit_log_percentile(&self, q: f64) -> LogMegabytes {
+        let mems: Vec<f64> = self.samples.iter().map(|s| s.memory_mb.value()).collect();
+        LogMegabytes::new(log10_response(al_linalg::stats::quantile(&mems, q)))
     }
 
-    /// Fraction of samples whose memory meets or exceeds a log10 limit.
-    pub fn violating_fraction(&self, limit_log: f64) -> f64 {
-        let limit = crate::transform::unlog10_response(limit_log);
+    /// Fraction of samples whose memory meets or exceeds a log-space limit.
+    pub fn violating_fraction(&self, limit_log: LogMegabytes) -> f64 {
+        let limit = limit_log.to_megabytes();
         self.samples.iter().filter(|s| s.memory_mb >= limit).count() as f64
             / self.samples.len() as f64
     }
@@ -177,6 +184,7 @@ impl Dataset {
 mod tests {
     use super::*;
     use al_amr_sim::SimulationConfig;
+    use al_units::{Megabytes, NodeHours, Seconds};
 
     pub(crate) fn synthetic(n: usize) -> Dataset {
         let samples: Vec<Sample> = (0..n)
@@ -190,9 +198,9 @@ mod tests {
                         r0: 0.2 + 0.3 * t,
                         rhoin: 0.02 + 0.4 * t,
                     },
-                    wall_seconds: 2.0 + 100.0 * t,
-                    cost_node_hours: 0.01 + 5.0 * t * t,
-                    memory_mb: 0.05 + 20.0 * t,
+                    wall_seconds: Seconds::new(2.0 + 100.0 * t),
+                    cost_node_hours: NodeHours::new(0.01 + 5.0 * t * t),
+                    memory_mb: Megabytes::new(0.05 + 20.0 * t),
                 }
             })
             .collect();
@@ -243,10 +251,10 @@ mod tests {
         let max_log = d
             .samples()
             .iter()
-            .map(|s| s.memory_mb.log10())
+            .map(|s| s.memory_mb.value().log10())
             .fold(f64::NEG_INFINITY, f64::max);
-        assert!((d.memory_limit_log(0.95) - 0.95 * max_log).abs() < 1e-12);
-        assert_eq!(d.memory_limit_log(1.0), max_log);
+        assert!((d.memory_limit_log(0.95).value() - 0.95 * max_log).abs() < 1e-12);
+        assert_eq!(d.memory_limit_log(1.0).value(), max_log);
     }
 
     #[test]
@@ -259,7 +267,10 @@ mod tests {
         // A limit above the maximum leaves zero violators.
         assert_eq!(d.violating_fraction(d.memory_limit_log(1.0) + 0.1), 0.0);
         // A limit below the minimum catches everything.
-        assert_eq!(d.violating_fraction(-10.0), 1.0);
+        assert_eq!(
+            d.violating_fraction(al_units::LogMegabytes::new(-10.0)),
+            1.0
+        );
     }
 
     #[test]
@@ -310,7 +321,7 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn non_positive_response_rejected() {
         let mut s = *synthetic(2).sample(0);
-        s.cost_node_hours = 0.0;
+        s.cost_node_hours = NodeHours::new(0.0);
         Dataset::new(vec![s]);
     }
 }

@@ -130,7 +130,7 @@ mod tests {
         let samples = generate_parallel(&jobs, &smoke_opts(2)).unwrap();
         for ((config, _), sample) in jobs.iter().zip(&samples) {
             assert_eq!(sample.config, *config);
-            assert!(sample.cost_node_hours > 0.0);
+            assert!(sample.cost_node_hours.value() > 0.0);
         }
     }
 

@@ -6,6 +6,7 @@
 use crate::dataset::Dataset;
 use crate::sample::Sample;
 use al_amr_sim::SimulationConfig;
+use al_units::{Megabytes, NodeHours, Seconds};
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -112,9 +113,9 @@ pub fn read_csv(path: &Path) -> Result<Vec<Sample>, IoError> {
                 r0: parse_f(3)?,
                 rhoin: parse_f(4)?,
             },
-            wall_seconds: parse_f(5)?,
-            cost_node_hours: parse_f(6)?,
-            memory_mb: parse_f(7)?,
+            wall_seconds: Seconds::new(parse_f(5)?),
+            cost_node_hours: NodeHours::new(parse_f(6)?),
+            memory_mb: Megabytes::new(parse_f(7)?),
         });
     }
     Ok(samples)
@@ -154,9 +155,9 @@ mod tests {
                 r0: 0.2 + 0.017 * i as f64,
                 rhoin: 0.02 * (i + 1) as f64,
             },
-            wall_seconds: 1.5 + i as f64 * std::f64::consts::PI,
-            cost_node_hours: 0.002 * (i + 1) as f64,
-            memory_mb: 0.05 / (i + 1) as f64,
+            wall_seconds: Seconds::new(1.5 + i as f64 * std::f64::consts::PI),
+            cost_node_hours: NodeHours::new(0.002 * (i + 1) as f64),
+            memory_mb: Megabytes::new(0.05 / (i + 1) as f64),
         }
     }
 

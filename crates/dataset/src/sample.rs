@@ -1,19 +1,20 @@
 //! One row of the dataset: a configuration plus its measured responses.
 
 use al_amr_sim::{SimulationConfig, SimulationOutcome};
+use al_units::{Megabytes, NodeHours, Seconds};
 
 /// A completed measurement: the paper's `(x, c, m)` triple plus wall-clock
-/// time (Table I lists all three responses).
+/// time (Table I lists all three responses), each in its unit type.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sample {
     /// Input configuration (the 5 features).
     pub config: SimulationConfig,
-    /// Wall-clock seconds.
-    pub wall_seconds: f64,
+    /// Wall-clock time.
+    pub wall_seconds: Seconds,
     /// Cost in node-hours — the `c` response.
-    pub cost_node_hours: f64,
-    /// MaxRSS per process in MB — the `m` response.
-    pub memory_mb: f64,
+    pub cost_node_hours: NodeHours,
+    /// MaxRSS per process — the `m` response.
+    pub memory_mb: Megabytes,
 }
 
 impl Sample {
@@ -48,9 +49,9 @@ mod tests {
                 r0: 0.35,
                 rhoin: 0.2,
             },
-            wall_seconds: 10.0,
-            cost_node_hours: 0.04,
-            memory_mb: 1.5,
+            wall_seconds: Seconds::new(10.0),
+            cost_node_hours: NodeHours::new(0.04),
+            memory_mb: Megabytes::new(1.5),
         };
         assert_eq!(s.features(), [16.0, 24.0, 4.0, 0.35, 0.2]);
     }

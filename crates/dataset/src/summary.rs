@@ -40,15 +40,15 @@ impl TableSummary {
             ),
             (
                 "Response: wall clock time, seconds".to_string(),
-                Summary::of(&col(&|s| s.wall_seconds)),
+                Summary::of(&col(&|s| s.wall_seconds.value())),
             ),
             (
                 "Response: cost, node-hours".to_string(),
-                Summary::of(&col(&|s| s.cost_node_hours)),
+                Summary::of(&col(&|s| s.cost_node_hours.value())),
             ),
             (
                 "Response: memory, MB".to_string(),
-                Summary::of(&col(&|s| s.memory_mb)),
+                Summary::of(&col(&|s| s.memory_mb.value())),
             ),
         ];
         TableSummary { rows }
@@ -100,9 +100,9 @@ mod tests {
                     r0: 0.2 + 0.04 * i as f64,
                     rhoin: 0.05 * (i + 1) as f64,
                 },
-                wall_seconds: 2.0 * (i + 1) as f64,
-                cost_node_hours: 0.01 * (i + 1) as f64 * (i + 1) as f64,
-                memory_mb: 0.5 * (i + 1) as f64,
+                wall_seconds: al_units::Seconds::new(2.0 * (i + 1) as f64),
+                cost_node_hours: al_units::NodeHours::new(0.01 * (i + 1) as f64 * (i + 1) as f64),
+                memory_mb: al_units::Megabytes::new(0.5 * (i + 1) as f64),
             })
             .collect();
         Dataset::new(samples)

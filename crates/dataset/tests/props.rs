@@ -33,9 +33,9 @@ fn sample_strategy() -> impl Strategy<Value = Sample> {
                     r0,
                     rhoin,
                 },
-                wall_seconds: wall,
-                cost_node_hours: cost,
-                memory_mb: mem,
+                wall_seconds: al_units::Seconds::new(wall),
+                cost_node_hours: al_units::NodeHours::new(cost),
+                memory_mb: al_units::Megabytes::new(mem),
             },
         )
 }

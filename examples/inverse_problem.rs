@@ -125,8 +125,8 @@ fn main() {
             "measured: cost {:.4} node-hours (budget {BUDGET}), memory {:.3} MB (limit {MEM_LIMIT})",
             outcome.cost_node_hours, outcome.memory_mb
         );
-        let ok_cost = outcome.cost_node_hours <= BUDGET * 1.5;
-        let ok_mem = outcome.memory_mb <= MEM_LIMIT * 1.5;
+        let ok_cost = outcome.cost_node_hours.value() <= BUDGET * 1.5;
+        let ok_mem = outcome.memory_mb.value() <= MEM_LIMIT * 1.5;
         println!(
             "within 1.5x of the constraints: cost {} / memory {}",
             if ok_cost { "yes" } else { "NO" },

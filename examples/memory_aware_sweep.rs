@@ -45,7 +45,7 @@ fn main() {
     // above every sample on this short-tailed pool, excluding 0 jobs and
     // collapsing both strategies to an uninformative 0-regret tie.)
     let lmem_log = dataset.memory_limit_log_percentile(0.85);
-    let lmem_raw = 10f64.powf(lmem_log);
+    let lmem_raw = lmem_log.to_megabytes();
     let n_over = dataset
         .samples()
         .iter()
@@ -91,7 +91,7 @@ fn main() {
         );
         regrets.push(t.total_regret());
     }
-    let gap = regrets[0] - regrets[1];
+    let gap = (regrets[0] - regrets[1]).value();
     println!(
         "\nRGMA saves {gap:.3} node-hours of cumulative regret (wasted cost on\n\
          crashed jobs) over memory-oblivious RandGoodness."

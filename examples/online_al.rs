@@ -40,8 +40,8 @@ fn main() {
     println!("bootstrap run: {first:?}");
     let outcome = run_simulation(&first, profile, &machine, 0).expect("simulation");
     let mut xs: Vec<[f64; 5]> = vec![scaler.transform(&first.features())];
-    let mut log_costs = vec![log10_response(outcome.cost_node_hours)];
-    let mut log_mems = vec![log10_response(outcome.memory_mb)];
+    let mut log_costs = vec![log10_response(outcome.cost_node_hours.value())];
+    let mut log_mems = vec![log10_response(outcome.memory_mb.value())];
     let mut total_cost = outcome.cost_node_hours;
 
     let mut gp_cost = GpModel::new(KernelKind::Rbf.build(0.3), 1e-3);
@@ -92,7 +92,7 @@ fn main() {
         // Run the actual simulation.
         let outcome = run_simulation(&config, profile, &machine, 0).expect("simulation");
         total_cost += outcome.cost_node_hours;
-        let safe_actual = outcome.memory_mb < MEM_LIMIT_MB;
+        let safe_actual = outcome.memory_mb.value() < MEM_LIMIT_MB;
         println!(
             "{iter:>4} {:>2} {:>3} {:>9} {:>5.2} {:>6.2}  {:>10.4}  {:>11.4}  {:>7.3}  {}",
             config.p,
@@ -108,8 +108,8 @@ fn main() {
 
         // Retrain with the new measurement.
         xs.push(scaler.transform(&config.features()));
-        log_costs.push(log10_response(outcome.cost_node_hours));
-        log_mems.push(log10_response(outcome.memory_mb));
+        log_costs.push(log10_response(outcome.cost_node_hours.value()));
+        log_mems.push(log10_response(outcome.memory_mb.value()));
         train(&mut gp_cost, &xs, &log_costs);
         train(&mut gp_mem, &xs, &log_mems);
     }

@@ -34,12 +34,12 @@ fn main() {
         dataset
             .samples()
             .iter()
-            .map(|s| s.cost_node_hours)
+            .map(|s| s.cost_node_hours.value())
             .fold(f64::INFINITY, f64::min),
         dataset
             .samples()
             .iter()
-            .map(|s| s.cost_node_hours)
+            .map(|s| s.cost_node_hours.value())
             .fold(f64::NEG_INFINITY, f64::max),
     );
 

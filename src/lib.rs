@@ -8,6 +8,7 @@
 //! Re-exports every layer so examples and downstream users can depend on a
 //! single crate:
 //!
+//! - [`units`] — typed physical quantities shared by every layer
 //! - [`linalg`] — dense linear algebra and statistics substrate
 //! - [`gp`] — Gaussian process regression (kernels, fitting, prediction)
 //! - [`amr`] — block-structured AMR Euler solver and machine model
@@ -21,3 +22,4 @@ pub use al_core as al;
 pub use al_dataset as dataset;
 pub use al_gp as gp;
 pub use al_linalg as linalg;
+pub use al_units as units;

@@ -86,8 +86,14 @@ fn rgma_beats_oblivious_strategies_on_regret() {
     // Limit at the 70th percentile of the memory distribution so a
     // substantial fraction of the pool violates it (the tiny test dataset
     // has a short tail, unlike the paper's 600-sample one).
-    let mems: Vec<f64> = dataset.samples().iter().map(|s| s.memory_mb).collect();
-    let lmem_log = al_for_amr::linalg::stats::quantile(&mems, 0.7).log10();
+    let mems: Vec<f64> = dataset
+        .samples()
+        .iter()
+        .map(|s| s.memory_mb.value())
+        .collect();
+    let lmem_log = al_for_amr::units::LogMegabytes::new(
+        al_for_amr::linalg::stats::quantile(&mems, 0.7).log10(),
+    );
     // Compare at an equal selection budget (paper Fig. 3 plots CR per
     // iteration). Without a cap every strategy exhausts the 20-sample pool
     // and final CR is order-independent — all strategies tie exactly.
@@ -110,7 +116,7 @@ fn rgma_beats_oblivious_strategies_on_regret() {
     };
     let results = run_batch(&dataset, &spec, &opts).expect("batch");
     let mean_regret = |ts: &Vec<al_for_amr::al::Trajectory>| {
-        ts.iter().map(|t| t.total_regret()).sum::<f64>() / ts.len() as f64
+        ts.iter().map(|t| t.total_regret().value()).sum::<f64>() / ts.len() as f64
     };
     let uniform_cr = mean_regret(&results[0].1);
     let rgma_cr = mean_regret(&results[1].1);
@@ -163,7 +169,7 @@ fn cost_grows_with_maxlevel_in_real_data() {
             .samples()
             .iter()
             .filter(|s| s.config.maxlevel == ml)
-            .map(|s| s.cost_node_hours)
+            .map(|s| s.cost_node_hours.value())
             .collect();
         assert!(!v.is_empty());
         al_for_amr::linalg::stats::mean(&v)

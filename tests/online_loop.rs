@@ -33,8 +33,8 @@ fn online_al_loop_runs_and_improves() {
         let config = candidates.remove(0);
         let outcome = run_simulation(&config, profile, &machine, 0).expect("simulation");
         xs.push(scaler.transform(&config.features()));
-        ys.push(log10_response(outcome.cost_node_hours));
-        measured.push((config, outcome.cost_node_hours));
+        ys.push(log10_response(outcome.cost_node_hours.value()));
+        measured.push((config, outcome.cost_node_hours.value()));
     }
 
     let fit = FitOptions {
@@ -61,8 +61,8 @@ fn online_al_loop_runs_and_improves() {
         let config = candidates.remove(pick);
         let outcome = run_simulation(&config, profile, &machine, 0).expect("simulation");
         xs.push(scaler.transform(&config.features()));
-        ys.push(log10_response(outcome.cost_node_hours));
-        measured.push((config, outcome.cost_node_hours));
+        ys.push(log10_response(outcome.cost_node_hours.value()));
+        measured.push((config, outcome.cost_node_hours.value()));
     }
 
     assert_eq!(measured.len(), 8);

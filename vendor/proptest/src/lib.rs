@@ -233,7 +233,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::RngExt;
 
-    /// Inclusive length bounds for [`vec`]: built from an exact `usize`, a
+    /// Inclusive length bounds for [`vec()`](vec()): built from an exact `usize`, a
     /// half-open `Range`, or a `RangeInclusive`.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
