@@ -43,6 +43,19 @@ pub struct Config {
     /// L5: identifiers that convert between units; their presence next to a
     /// mixed-unit operator marks the expression as an intentional conversion.
     pub unit_conversions: Vec<String>,
+    /// L6 (determinism safety): crate roots whose `src/` trees are bound by
+    /// the bitwise-reproducibility contract. An empty list disables L6.
+    pub determinism_crates: Vec<String>,
+    /// L6: files (or path prefixes) whose thread fan-out is blessed — the
+    /// audited pool modules with ordered reductions.
+    pub spawn_approved: Vec<String>,
+    /// L6: files or path prefixes allowed to read host wall-clock
+    /// (bench/runner diagnostics that never feed priced results).
+    pub wall_clock_approved: Vec<String>,
+    /// L6: identifiers (ordered container types, sort methods) whose
+    /// presence near a hash-container iteration marks the path as
+    /// order-stable and suppresses the finding.
+    pub ordered_containers: Vec<String>,
     pub allowances: Vec<Allowance>,
 }
 
@@ -111,6 +124,43 @@ impl Default for Config {
                 "log10",
                 "log10_response",
                 "unlog10_response",
+            ]
+            .map(String::from)
+            .to_vec(),
+            determinism_crates: [
+                "crates/linalg",
+                "crates/gp",
+                "crates/amr",
+                "crates/dataset",
+                "crates/core",
+                "crates/units",
+                "crates/bench",
+            ]
+            .map(String::from)
+            .to_vec(),
+            // Each blessed module owns a fan-out with an audited ordered
+            // reduction (index-addressed result slots folded in input
+            // order); see DESIGN §7/§9.
+            spawn_approved: [
+                "crates/amr/src/pool.rs",
+                "crates/core/src/batch.rs",
+                "crates/dataset/src/generate.rs",
+            ]
+            .map(String::from)
+            .to_vec(),
+            // Bench binaries time the *host* run for BENCH notes; that
+            // wall-clock never feeds priced results (machine.rs contract).
+            wall_clock_approved: ["crates/bench"].map(String::from).to_vec(),
+            ordered_containers: [
+                "BTreeMap",
+                "BTreeSet",
+                "sort",
+                "sort_by",
+                "sort_by_key",
+                "sort_unstable",
+                "sort_unstable_by",
+                "sort_unstable_by_key",
+                "sorted",
             ]
             .map(String::from)
             .to_vec(),
@@ -266,6 +316,10 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
     take_list("float_cmp_approved", &mut config.float_cmp_approved)?;
     take_list("scan_roots", &mut config.scan_roots)?;
     take_list("unit_conversions", &mut config.unit_conversions)?;
+    take_list("determinism_crates", &mut config.determinism_crates)?;
+    take_list("spawn_approved", &mut config.spawn_approved)?;
+    take_list("wall_clock_approved", &mut config.wall_clock_approved)?;
+    take_list("ordered_containers", &mut config.ordered_containers)?;
     let mut take_pair_list =
         |name: &str, target: &mut Vec<(String, String)>| -> Result<(), ConfigError> {
             if let Some((value, line)) = scalar_keys.remove(name) {
@@ -435,6 +489,33 @@ count = 1
             .any(|(s, u)| s == "_us" && u == "microseconds"));
         assert!(d.unit_types.iter().any(|(t, _)| t == "LogMegabytes"));
         assert!(!d.unit_conversions.contains(&"value".to_string()));
+    }
+
+    #[test]
+    fn determinism_tables_parse_and_have_defaults() {
+        let cfg = parse(
+            "[determinism]\ndeterminism_crates = [\"crates/x\"]\n\
+             spawn_approved = [\"crates/x/src/pool.rs\"]\n\
+             wall_clock_approved = [\"crates/y\"]\n\
+             ordered_containers = [\"IndexMap\"]\n",
+        )
+        .expect("parse");
+        assert_eq!(cfg.determinism_crates, vec!["crates/x"]);
+        assert_eq!(cfg.spawn_approved, vec!["crates/x/src/pool.rs"]);
+        assert_eq!(cfg.wall_clock_approved, vec!["crates/y"]);
+        assert_eq!(cfg.ordered_containers, vec!["IndexMap"]);
+        // Defaults: the blessed pool modules are exactly the audited
+        // fan-outs, and bench may read wall-clock for BENCH notes.
+        let d = Config::default();
+        assert!(d
+            .spawn_approved
+            .contains(&"crates/amr/src/pool.rs".to_string()));
+        assert!(d
+            .spawn_approved
+            .contains(&"crates/core/src/batch.rs".to_string()));
+        assert!(d.wall_clock_approved.contains(&"crates/bench".to_string()));
+        assert!(d.determinism_crates.contains(&"crates/amr".to_string()));
+        assert!(d.ordered_containers.contains(&"BTreeMap".to_string()));
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! alint — workspace static analysis for numerical-robustness invariants.
 //!
-//! The five lints (L1 panic_site, L2 float_cmp, L3 typed_error, L4
-//! lossy_cast, L5 unit_safety) encode repo-specific rules that clippy
-//! cannot express because they depend on which crate, module, or file the
-//! code lives in — or, for L5, on the repo's own unit vocabulary.
+//! The six lints (L1 panic_site, L2 float_cmp, L3 typed_error, L4
+//! lossy_cast, L5 unit_safety, L6 determinism_safety) encode repo-specific
+//! rules that clippy cannot express because they depend on which crate,
+//! module, or file the code lives in — or, for L5/L6, on the repo's own
+//! unit vocabulary and reproducibility contract.
 //! See `lints` for the rules, `config` for `alint.toml`, and `DESIGN.md`
 //! ("Static analysis & invariants") for the policy.
 //!
@@ -50,23 +51,57 @@ impl Report {
 
 /// Lint every source file under `root` and apply `config`'s allowlist.
 pub fn check_workspace(root: &Path, config: &Config) -> std::io::Result<Report> {
-    let raw = raw_diagnostics(root, config)?;
-    Ok(apply_allowlist(raw.0, config, raw.1))
+    check_workspace_lint(root, config, None)
+}
+
+/// Like [`check_workspace`], restricted to one lint ID when `lint` is
+/// `Some("L2")` etc. — the single-pass iteration mode behind
+/// `check --lint`. Allowances for *other* lints are dropped rather than
+/// reported stale: the filter narrows the question, it must not invent
+/// failures about lints it excluded.
+pub fn check_workspace_lint(
+    root: &Path,
+    config: &Config,
+    lint: Option<&str>,
+) -> std::io::Result<Report> {
+    let (mut raw, files) = raw_diagnostics(root, config)?;
+    if let Some(id) = lint {
+        raw.retain(|d| d.lint == id);
+        let mut narrowed = config.clone();
+        narrowed.allowances.retain(|a| a.lint == id);
+        return Ok(apply_allowlist(raw, &narrowed, files));
+    }
+    Ok(apply_allowlist(raw, config, files))
 }
 
 /// All diagnostics before allowlist filtering, plus the file count.
 pub fn raw_diagnostics(root: &Path, config: &Config) -> std::io::Result<(Vec<Diagnostic>, usize)> {
     let files = workspace::scan(root, config)?;
     let units = lints::UnitTables::from_config(config);
+    let det = lints::DeterminismTables::from_config(config);
     let n = files.len();
     let mut all = Vec::new();
     for file in &files {
         let src = std::fs::read_to_string(&file.abs_path)?;
         let lexed = lexer::lex(&src);
-        all.extend(lints::lint_file(&file.rel_path, &lexed, file.scope, &units));
+        all.extend(lints::lint_file(
+            &file.rel_path,
+            &lexed,
+            file.scope,
+            &units,
+            &det,
+        ));
     }
     all.sort();
     Ok((all, n))
+}
+
+/// Normalize a user-supplied lint selector (`L6`, `l6`, or
+/// `determinism_safety`) to its canonical ID, or `None` when unknown.
+pub fn normalize_lint_id(arg: &str) -> Option<&'static str> {
+    const IDS: [&str; 6] = ["L1", "L2", "L3", "L4", "L5", "L6"];
+    IDS.into_iter()
+        .find(|id| id.eq_ignore_ascii_case(arg) || lints::lint_name(id).eq_ignore_ascii_case(arg))
 }
 
 /// Split raw diagnostics into violations and grandfathered findings using
@@ -344,6 +379,15 @@ mod tests {
             out.contains("::error file=alint.toml,title=alint stale allowance::"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn lint_selectors_normalize_ids_and_names() {
+        assert_eq!(normalize_lint_id("L6"), Some("L6"));
+        assert_eq!(normalize_lint_id("l2"), Some("L2"));
+        assert_eq!(normalize_lint_id("determinism_safety"), Some("L6"));
+        assert_eq!(normalize_lint_id("unit_safety"), Some("L5"));
+        assert_eq!(normalize_lint_id("wibble"), None);
     }
 
     #[test]

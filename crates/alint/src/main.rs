@@ -19,6 +19,7 @@ fn main() -> ExitCode {
     let mut command = "check";
     let mut root: Option<PathBuf> = None;
     let mut format = Format::Text;
+    let mut lint: Option<&'static str> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -33,6 +34,20 @@ fn main() -> ExitCode {
                 Some(path) => root = Some(PathBuf::from(path)),
                 None => {
                     eprintln!("alint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--lint" => match iter.next().map(|s| alint::normalize_lint_id(s)) {
+                Some(Some(id)) => lint = Some(id),
+                Some(None) => {
+                    eprintln!(
+                        "alint: --lint requires a lint ID (L1..L6) or name \
+                         (panic_site, …, determinism_safety)"
+                    );
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("alint: --lint requires a lint ID");
                     return ExitCode::from(2);
                 }
             },
@@ -75,14 +90,15 @@ fn main() -> ExitCode {
     };
 
     match command {
-        "dump" => dump(&root, &config),
+        "dump" => dump(&root, &config, lint),
         "ratchet" => ratchet(&root, &config),
-        _ => check(&root, &config, format),
+        _ => check(&root, &config, format, lint),
     }
 }
 
 const USAGE: &str = "\
 usage: cargo run -p alint -- [check|dump|ratchet] [--root <dir>] [--format <fmt>]
+                             [--lint <ID>]
 
   check     lint the workspace, applying the alint.toml allowlist (default)
   dump      print every raw diagnostic, ignoring the allowlist
@@ -90,6 +106,9 @@ usage: cargo run -p alint -- [check|dump|ratchet] [--root <dir>] [--format <fmt>
 
   --format  check output style: text (default), json (one machine-readable
             object), or github (::error workflow-command annotations)
+  --lint    restrict check/dump to one lint, by ID (L1..L6) or name
+            (panic_site, …, determinism_safety) — fast single-pass
+            iteration while developing a lint
 ";
 
 /// Locate the workspace root: the manifest dir's grandparent when built in
@@ -104,8 +123,13 @@ fn workspace_root() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("."))
 }
 
-fn check(root: &std::path::Path, config: &alint::config::Config, format: Format) -> ExitCode {
-    let report = match alint::check_workspace(root, config) {
+fn check(
+    root: &std::path::Path,
+    config: &alint::config::Config,
+    format: Format,
+    lint: Option<&'static str>,
+) -> ExitCode {
+    let report = match alint::check_workspace_lint(root, config, lint) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("alint: {e}");
@@ -169,9 +193,17 @@ fn check(root: &std::path::Path, config: &alint::config::Config, format: Format)
     exit
 }
 
-fn dump(root: &std::path::Path, config: &alint::config::Config) -> ExitCode {
+fn dump(
+    root: &std::path::Path,
+    config: &alint::config::Config,
+    lint: Option<&'static str>,
+) -> ExitCode {
     match alint::raw_diagnostics(root, config) {
         Ok((diags, files)) => {
+            let diags: Vec<_> = diags
+                .into_iter()
+                .filter(|d| lint.is_none_or(|l| d.lint == l))
+                .collect();
             for d in &diags {
                 println!("{d}");
             }

@@ -77,18 +77,32 @@ fn rel_string(path: &Path, root: &Path) -> String {
 /// - L4 runs only on the listed hot-path files.
 /// - L5 runs on everything scanned (disabling it means emptying the unit
 ///   tables in `alint.toml`, not a per-file carve-out).
+/// - L6 runs on every `src/` file of the determinism crates — *including*
+///   binaries and `main.rs`, because a bin that prints results in hash
+///   order corrupts regenerated datasets just as surely as a lib would.
+///   `spawn_approved` exempts the audited pool modules from the fan-out
+///   rule and `wall_clock_approved` (file or path prefix) exempts
+///   diagnostics-only timing from the wall-clock rule.
 pub fn scope_for(rel_path: &str, config: &Config) -> FileScope {
     let in_crate_src = |crate_root: &str| {
         rel_path.starts_with(&format!("{crate_root}/src/"))
             && !rel_path.contains("/bin/")
             && !rel_path.ends_with("/main.rs")
     };
+    let prefix_match =
+        |entry: &str| rel_path == entry || rel_path.starts_with(&format!("{entry}/"));
     FileScope {
         lib_crate: config.lib_crates.iter().any(|c| in_crate_src(c)),
         float_cmp: !config.float_cmp_approved.iter().any(|p| p == rel_path),
         typed_error: config.typed_error_crates.iter().any(|c| in_crate_src(c)),
         hot_path: config.hot_paths.iter().any(|p| p == rel_path),
         unit_safety: true,
+        determinism: config
+            .determinism_crates
+            .iter()
+            .any(|c| rel_path.starts_with(&format!("{c}/src/"))),
+        spawn_blessed: config.spawn_approved.iter().any(|p| prefix_match(p)),
+        wall_clock_approved: config.wall_clock_approved.iter().any(|p| prefix_match(p)),
     }
 }
 
@@ -101,18 +115,41 @@ mod tests {
         let config = Config::default();
         let s = scope_for("crates/linalg/src/cholesky.rs", &config);
         assert!(s.lib_crate && s.typed_error && s.hot_path && s.float_cmp && s.unit_safety);
+        assert!(s.determinism && !s.spawn_blessed && !s.wall_clock_approved);
 
         let s = scope_for("crates/core/src/procedure.rs", &config);
-        assert!(s.lib_crate && !s.hot_path && s.unit_safety);
+        assert!(s.lib_crate && !s.hot_path && s.unit_safety && s.determinism);
 
         let s = scope_for("crates/alint/src/lints.rs", &config);
         assert!(!s.lib_crate && !s.typed_error && !s.hot_path && s.float_cmp);
+        assert!(!s.determinism, "the lint runner is not determinism-scoped");
 
-        // Binaries are exempt from the library-only passes.
+        // Binaries are exempt from the library-only passes but NOT from L6:
+        // hash-order output from a bin corrupts regenerated datasets too.
         let s = scope_for("crates/core/src/main.rs", &config);
-        assert!(!s.lib_crate);
+        assert!(!s.lib_crate && s.determinism);
         let s = scope_for("src/main.rs", &config);
         assert!(!s.lib_crate && s.float_cmp);
+    }
+
+    #[test]
+    fn determinism_exemptions_follow_config() {
+        let config = Config::default();
+        let s = scope_for("crates/amr/src/pool.rs", &config);
+        assert!(s.determinism && s.spawn_blessed && !s.wall_clock_approved);
+        let s = scope_for("crates/core/src/batch.rs", &config);
+        assert!(s.determinism && s.spawn_blessed);
+        let s = scope_for("crates/dataset/src/generate.rs", &config);
+        assert!(s.determinism && s.spawn_blessed);
+        // Wall-clock approval is a path prefix: the whole bench crate may
+        // time the host run, including its bin/ targets.
+        let s = scope_for("crates/bench/src/data.rs", &config);
+        assert!(s.determinism && s.wall_clock_approved && !s.spawn_blessed);
+        let s = scope_for("crates/bench/src/bin/sweep.rs", &config);
+        assert!(s.determinism && s.wall_clock_approved);
+        // The solver core is neither blessed nor approved.
+        let s = scope_for("crates/amr/src/solver.rs", &config);
+        assert!(s.determinism && !s.spawn_blessed && !s.wall_clock_approved);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use alint::config::{Allowance, Config};
 use alint::lexer::lex;
-use alint::lints::{lint_file, Diagnostic, FileScope, UnitTables};
+use alint::lints::{lint_file, DeterminismTables, Diagnostic, FileScope, UnitTables};
 use std::path::{Path, PathBuf};
 
 fn lint_fixture(name: &str, scope: FileScope) -> Vec<Diagnostic> {
@@ -22,6 +22,7 @@ fn lint_fixture(name: &str, scope: FileScope) -> Vec<Diagnostic> {
         &lex(&src),
         scope,
         &UnitTables::from_config(&Config::default()),
+        &DeterminismTables::from_config(&Config::default()),
     )
 }
 
@@ -32,6 +33,9 @@ fn all_scopes() -> FileScope {
         typed_error: true,
         hot_path: true,
         unit_safety: true,
+        determinism: true,
+        spawn_blessed: false,
+        wall_clock_approved: false,
     }
 }
 
@@ -156,6 +160,45 @@ fn l5_flags_each_kind_of_unit_mixing() {
 #[test]
 fn l5_clean_fixture_is_silent_under_every_lint() {
     let diags = lint_fixture("l5_clean.rs", all_scopes());
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn l6_flags_each_kind_of_determinism_hazard() {
+    let diags = lint_fixture("l6_violations.rs", only(|s| s.determinism = true));
+    assert_eq!(diags.len(), 6, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.lint == "L6"), "{diags:#?}");
+    // Hash iteration into `sum`, a for-loop body feeding `push_str`, a
+    // `collect` in arrival order, an ad-hoc `thread::spawn`, `Instant::now`,
+    // and an unseeded `from_entropy` — all three sub-rules represented.
+    assert_eq!(
+        diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+        vec![8, 13, 20, 24, 28, 33],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn l6_blessed_scopes_drop_the_spawn_and_wall_clock_rules() {
+    let diags = lint_fixture(
+        "l6_violations.rs",
+        only(|s| {
+            s.determinism = true;
+            s.spawn_blessed = true;
+            s.wall_clock_approved = true;
+        }),
+    );
+    // Only the three hash-order iteration findings remain.
+    assert_eq!(
+        diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+        vec![8, 13, 20],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn l6_clean_fixture_is_silent_under_every_lint() {
+    let diags = lint_fixture("l6_clean.rs", all_scopes());
     assert!(diags.is_empty(), "{diags:#?}");
 }
 
@@ -298,6 +341,129 @@ fn cli_formats_json_and_github_output() {
         stdout.contains("::error file=crates/demo/src/lib.rs,line=2,title=alint L1(panic_site)::"),
         "{stdout}"
     );
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// `--lint <ID>` restricts check to one pass: the other lints' findings
+/// disappear, their allowlist entries are not reported stale, and an
+/// unknown selector is a usage error.
+#[test]
+fn cli_lint_flag_filters_check_to_one_pass() {
+    let root = scratch_workspace("lint_flag");
+    let src_dir = root.join("crates/demo/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    // One L1 finding (unwrap) and one L6 finding (thread::spawn) in a file
+    // scoped to both passes.
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn go(v: Option<u8>) -> u8 {\n    std::thread::spawn(|| 1);\n    v.unwrap()\n}\n",
+    )
+    .expect("write fixture source");
+    std::fs::write(
+        root.join("alint.toml"),
+        "lib_crates = [\"crates/demo\"]\nscan_roots = [\"crates\"]\n\
+         [determinism]\ndeterminism_crates = [\"crates/demo\"]\n\
+         [[allow]]\npath = \"crates/demo/src/lib.rs\"\nlint = \"L1\"\n\
+         count = 1\nreason = \"fixture\"\n",
+    )
+    .expect("write config");
+
+    let run = |lint: &str| {
+        std::process::Command::new(env!("CARGO_BIN_EXE_alint"))
+            .args(["check", "--lint", lint, "--root"])
+            .arg(&root)
+            .output()
+            .expect("run alint")
+    };
+
+    // L6 alone: the spawn finding fires; the L1 allowance for the same file
+    // must NOT be reported stale just because L1 was filtered out.
+    let out = run("L6");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/demo/src/lib.rs:2: L6(determinism_safety)"),
+        "{stdout}"
+    );
+    assert!(!stdout.contains("L1"), "{stdout}");
+    assert!(!stdout.contains("stale [[allow]]"), "{stdout}");
+
+    // L1 alone (by name, mixed case): the unwrap is absorbed by its
+    // allowance, so the filtered check is clean.
+    let out = run("Panic_Site");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // Unknown selector: usage error, exit 2.
+    let out = run("L9");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Golden round-trip for `ratchet`: its stdout must parse as `[[allow]]`
+/// entries that exactly absorb the current violations — appending it to the
+/// config turns a failing check into a clean one with zero slack and zero
+/// stale entries.
+#[test]
+fn cli_ratchet_output_round_trips_through_the_allowlist() {
+    let root = scratch_workspace("ratchet_golden");
+    let src_dir = root.join("crates/demo/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn a(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n\
+         pub fn b(v: Option<u8>) -> u8 {\n    v.expect(\"b\")\n}\n",
+    )
+    .expect("write fixture source");
+    std::fs::write(
+        src_dir.join("extra.rs"),
+        "pub fn c() {\n    std::thread::spawn(|| 1);\n}\n",
+    )
+    .expect("write fixture source");
+    let scope = "lib_crates = [\"crates/demo\"]\nscan_roots = [\"crates\"]\n\
+                 [determinism]\ndeterminism_crates = [\"crates/demo\"]\n";
+    std::fs::write(root.join("alint.toml"), scope).expect("write config");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_alint"))
+        .args(["ratchet", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run alint ratchet");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let printed = String::from_utf8_lossy(&out.stdout).to_string();
+
+    // The printed entries parse with the workspace config parser and carry
+    // exactly the per-(file, lint) violation counts.
+    let parsed = alint::config::parse(&format!("{scope}{printed}")).expect("parse ratchet output");
+    let entry = |path: &str, lint: &str| {
+        parsed
+            .allowances
+            .iter()
+            .find(|a| a.path == path && a.lint == lint)
+            .unwrap_or_else(|| panic!("missing [[allow]] for {path} {lint}\n{printed}"))
+    };
+    assert_eq!(entry("crates/demo/src/lib.rs", "L1").count, 2, "{printed}");
+    assert_eq!(
+        entry("crates/demo/src/extra.rs", "L6").count,
+        1,
+        "{printed}"
+    );
+    assert_eq!(parsed.allowances.len(), 2, "{printed}");
+
+    // Adopting the printed allowlist makes the check clean — and since the
+    // counts are exact, no slack notes and no stale-entry errors appear.
+    std::fs::write(root.join("alint.toml"), format!("{scope}{printed}")).expect("rewrite config");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_alint"))
+        .args(["check", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run alint check");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("stale"), "{stdout}");
+    assert!(!stdout.contains("tighten"), "{stdout}");
+    assert!(stdout.contains("3 grandfathered sites"), "{stdout}");
 
     std::fs::remove_dir_all(&root).ok();
 }

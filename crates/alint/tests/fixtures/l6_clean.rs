@@ -1,0 +1,40 @@
+//! L6 clean fixture: the deterministic counterpart of every hazard the
+//! pass flags — ordered iteration, explicit seeds, audited opt-outs — and
+//! silent under every other lint as well.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Sorting the key snapshot before the reduction makes the visit order
+/// bitwise-stable regardless of hasher state.
+pub fn sorted_total(m: &HashMap<u32, f64>) -> f64 {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys.iter().map(|k| m[k]).sum()
+}
+
+/// Re-keying into a `BTreeMap` is the other blessed escape hatch.
+pub fn rekeyed(m: &HashMap<u32, f64>) -> BTreeMap<u32, f64> {
+    let ordered: BTreeMap<u32, f64> = m.iter().map(|(k, v)| (*k, *v)).collect();
+    ordered
+}
+
+/// A pure membership sweep observes no ordering: no sink, no finding.
+pub fn contains_target(ids: &HashSet<u32>, target: u32) -> bool {
+    for id in ids {
+        if *id == target {
+            return true;
+        }
+    }
+    false
+}
+
+/// An audited site may opt out explicitly.
+pub fn audited(ids: &HashSet<u32>) -> Vec<u32> {
+    ids.iter().copied().collect() // alint: allow(L6)
+}
+
+/// Randomness is fine when the seed is explicit.
+pub fn seeded_draw(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.next_u64()
+}

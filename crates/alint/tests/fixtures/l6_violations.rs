@@ -1,0 +1,35 @@
+//! L6 fixture: one finding per determinism hazard — hash-order iteration
+//! into order-observable sinks, ad-hoc thread fan-out, and wall-clock or
+//! entropy reads in priced code.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn total_cost(costs: &HashMap<String, f64>) -> f64 {
+    costs.values().sum()
+}
+
+pub fn render_ids(ids: &HashSet<u32>) -> String {
+    let mut out = String::new();
+    for id in ids {
+        out.push_str(&format!("{id} "));
+    }
+    out
+}
+
+pub fn keys_in_arrival_order(m: &HashMap<u32, f64>) -> Vec<u32> {
+    m.keys().copied().collect()
+}
+
+pub fn offload(xs: Vec<f64>) -> std::thread::JoinHandle<f64> {
+    std::thread::spawn(move || xs.iter().sum())
+}
+
+pub fn elapsed_cost() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos()
+}
+
+pub fn unseeded() -> u64 {
+    let mut rng = SmallRng::from_entropy();
+    rng.next_u64()
+}

@@ -28,6 +28,10 @@
 //! never appear in them, and the parallel-sweeps determinism suite pins
 //! exactly that. A host run on 8 threads therefore predicts the same
 //! Edison wall-clock, cost and MaxRSS as the same run on 1 thread.
+//! alint L6 (`determinism_safety`, DESIGN §9) enforces the same
+//! contract statically: `Instant::now`/`SystemTime::now` and unseeded
+//! RNG construction are lint violations everywhere outside the
+//! wall-clock-approved bench crate.
 
 use crate::solver::WorkStats;
 use al_linalg::rng::noise_factor;

@@ -25,6 +25,10 @@
 //! With one worker (or a level too small to be worth splitting) the sweep
 //! runs inline on the coordinating thread, which is exactly the pre-pool
 //! serial loop.
+//!
+//! This file is one of the three `spawn_approved` modules under alint
+//! L6 (DESIGN §9); everywhere else, `spawn`/parallel iterators are a
+//! lint violation and must route through an audited pool like this one.
 
 use crate::patch::{BoundaryFluxes, Patch, SweepScratch};
 use crate::tree::{Axis, PatchKey};

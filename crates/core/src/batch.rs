@@ -2,6 +2,14 @@
 //! parallel, so comparisons are paired (same partitions for all
 //! strategies) and statistics are independent of any single shuffle —
 //! the role of the paper's `multiprocessing` outer loop.
+//!
+//! This module is one of the three `spawn_approved` fan-outs under
+//! alint L6 (DESIGN §9): the job list is a deterministic cross
+//! product, every worker writes its result into the job's own
+//! index-addressed slot, each trajectory's RNG is seeded from
+//! `base_seed + t` alone, and the assembly loop below reads the slots
+//! in input order — no hash containers anywhere, so thread scheduling
+//! can never reach the numbers.
 
 use crate::procedure::{run_trajectory, AlOptions};
 use crate::strategy::StrategyKind;

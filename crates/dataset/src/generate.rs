@@ -1,6 +1,12 @@
 //! Parallel dataset generation: run one AMR simulation per job across a
 //! pool of worker threads (the local stand-in for the paper's >1K SLURM
 //! jobs on Edison).
+//!
+//! One of the three `spawn_approved` fan-outs under alint L6 (DESIGN
+//! §9): jobs are an ordered list, each worker writes into its job's own
+//! index-addressed slot, and results are returned in job order — the
+//! regenerated `data/dataset.csv` is byte-identical for any
+//! `n_threads`.
 
 use crate::sample::Sample;
 use al_amr_sim::{run_simulation, AmrError, MachineModel, SimulationConfig, SolverProfile};
