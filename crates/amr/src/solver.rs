@@ -132,6 +132,18 @@ impl SolverProfile {
             n_threads: 1,
         }
     }
+
+    /// Open-ended subcycled profile for perf measurement: `t_final` is
+    /// unbounded so the caller times individual `step()` calls instead of
+    /// racing a horizon, and subcycling matches the production
+    /// (dataset-generation) integration path. Callers choose `n_threads`.
+    pub fn bench() -> Self {
+        SolverProfile {
+            t_final: f64::INFINITY,
+            time_stepping: TimeStepping::Subcycled,
+            ..Self::smoke()
+        }
+    }
 }
 
 /// Work performed by a simulation — the machine model's input.

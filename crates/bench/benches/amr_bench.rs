@@ -8,7 +8,7 @@ use std::hint::black_box;
 use al_amr_sim::euler::conservative;
 use al_amr_sim::patch::{Patch, Side, SweepScratch};
 use al_amr_sim::tree::{Bc, Forest};
-use al_amr_sim::{AmrSolver, SimulationConfig, SolverProfile, TimeStepping};
+use al_amr_sim::{AmrSolver, SimulationConfig, SolverProfile};
 
 fn filled_patch(mx: usize) -> Patch {
     let mut p = Patch::new(0, 0, 0, mx);
@@ -91,12 +91,7 @@ fn bench_solver_step(c: &mut Criterion) {
     // full coarse step (the entire recursive hierarchy), so compare
     // per-simulated-second throughput rather than raw step times.
     group.bench_function("ml4_mx16_subcycled", |b| {
-        let profile = SolverProfile {
-            t_final: f64::INFINITY,
-            time_stepping: TimeStepping::Subcycled,
-            ..SolverProfile::smoke()
-        };
-        let mut solver = AmrSolver::new(&config, profile);
+        let mut solver = AmrSolver::new(&config, SolverProfile::bench());
         b.iter(|| black_box(solver.step()));
     });
     group.finish();
@@ -126,10 +121,8 @@ fn bench_solver_step_threads(c: &mut Criterion) {
             &n_threads,
             |b, &n_threads| {
                 let profile = SolverProfile {
-                    t_final: f64::INFINITY,
-                    time_stepping: TimeStepping::Subcycled,
                     n_threads,
-                    ..SolverProfile::smoke()
+                    ..SolverProfile::bench()
                 };
                 let mut solver = AmrSolver::new(&config, profile);
                 b.iter(|| black_box(solver.step()));

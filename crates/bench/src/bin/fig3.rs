@@ -62,7 +62,10 @@ fn main() {
             .iter()
             .map(|(_, ts)| mean_curve(ts, |r| r.cumulative_regret.value()))
             .collect();
-        println!("{}", format_curves(&labels, &curves, 20));
+        println!(
+            "{}",
+            format_curves(&labels, &curves, 20).expect("labels match curves")
+        );
         for (kind, ts) in &results {
             let mean_regret: f64 =
                 ts.iter().map(|t| t.total_regret().value()).sum::<f64>() / ts.len().max(1) as f64;

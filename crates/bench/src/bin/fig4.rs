@@ -58,14 +58,20 @@ fn main() {
             .iter()
             .map(|(_, ts)| mean_curve(ts, |r| r.rmse_cost))
             .collect();
-        println!("{}", format_curves(&labels, &rmse_curves, 20));
+        println!(
+            "{}",
+            format_curves(&labels, &rmse_curves, 20).expect("labels match curves")
+        );
 
         println!("(b) memory-model RMSE vs iteration");
         let mem_curves: Vec<Vec<f64>> = results
             .iter()
             .map(|(_, ts)| mean_curve(ts, |r| r.rmse_mem))
             .collect();
-        println!("{}", format_curves(&labels, &mem_curves, 20));
+        println!(
+            "{}",
+            format_curves(&labels, &mem_curves, 20).expect("labels match curves")
+        );
 
         println!("(c) cost-model RMSE vs cumulative cost (node-hours)");
         for (kind, ts) in &results {

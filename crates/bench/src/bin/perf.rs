@@ -1,0 +1,194 @@
+//! `perf` — the BENCH_*.json trajectory driver.
+//!
+//! ```text
+//! perf list    [--tier quick|full] [--group G]...
+//! perf run     [--tier quick|full] [--group G]... [--out DIR]
+//! perf validate <file>...
+//! perf compare <old> <new> [--threshold F] [--format text|github] [--check-only]
+//! ```
+//!
+//! `run` writes one schema-versioned `BENCH_<group>.json` per group
+//! (workspace root by default). `compare` takes two files or directories,
+//! flags scenarios whose median slowed by more than the threshold with
+//! disjoint IQRs, and exits 1 on any regression unless `--check-only`
+//! (advisory mode for cross-machine CI). Usage errors exit 2.
+
+use al_bench::perf::{
+    compare, group_names, load_dir, load_report, registry, run, workspace_root, BenchReport, Tier,
+    DEFAULT_THRESHOLD,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  perf list    [--tier quick|full] [--group G]...\n  perf run     [--tier quick|full] [--group G]... [--out DIR]\n  perf validate <file>...\n  perf compare <old> <new> [--threshold F] [--format text|github] [--check-only]\n\ngroups: {}",
+        group_names().join(", ")
+    );
+    ExitCode::from(2)
+}
+
+struct Common {
+    tier: Tier,
+    groups: Vec<String>,
+    out: Option<PathBuf>,
+    threshold: f64,
+    github: bool,
+    check_only: bool,
+    positional: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Option<Common> {
+    let mut c = Common {
+        tier: Tier::Quick,
+        groups: Vec::new(),
+        out: None,
+        threshold: DEFAULT_THRESHOLD,
+        github: false,
+        check_only: false,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tier" => c.tier = Tier::from_label(it.next()?)?,
+            "--group" => c.groups.push(it.next()?.clone()),
+            "--out" => c.out = Some(PathBuf::from(it.next()?)),
+            "--threshold" => c.threshold = it.next()?.parse().ok().filter(|t: &f64| *t > 0.0)?,
+            "--format" => match it.next()?.as_str() {
+                "github" => c.github = true,
+                "text" => c.github = false,
+                _ => return None,
+            },
+            "--check-only" => c.check_only = true,
+            _ if a.starts_with("--") => return None,
+            _ => c.positional.push(a.clone()),
+        }
+    }
+    Some(c)
+}
+
+/// A compare operand: one report file, or a directory of `BENCH_*.json`.
+fn load_operand(path: &Path) -> Result<Vec<BenchReport>, al_bench::error::BenchError> {
+    if path.is_dir() {
+        load_dir(path)
+    } else {
+        load_report(path).map(|r| vec![r])
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        return usage();
+    };
+    let Some(c) = parse_args(rest) else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "list" => {
+            if !c.positional.is_empty() {
+                return usage();
+            }
+            match registry(c.tier, &c.groups) {
+                Ok(scenarios) => {
+                    for s in &scenarios {
+                        println!("{}/{}", s.group, s.name);
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("perf list: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        "run" => {
+            if !c.positional.is_empty() {
+                return usage();
+            }
+            let out_dir = c.out.unwrap_or_else(workspace_root);
+            if let Err(e) = std::fs::create_dir_all(&out_dir) {
+                eprintln!("perf run: {}: {e}", out_dir.display());
+                return ExitCode::from(2);
+            }
+            let reports = match run(c.tier, &c.groups, |line| println!("{line}")) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("perf run: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            for report in &reports {
+                match al_bench::perf::write_report(report, &out_dir) {
+                    Ok(path) => println!("wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("perf run: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "validate" => {
+            if c.positional.is_empty() {
+                return usage();
+            }
+            let mut ok = true;
+            for p in &c.positional {
+                match load_report(Path::new(p)) {
+                    Ok(r) => println!(
+                        "{p}: valid ({} scenarios, group {})",
+                        r.scenarios.len(),
+                        r.group
+                    ),
+                    Err(e) => {
+                        eprintln!("{p}: INVALID: {e}");
+                        ok = false;
+                    }
+                }
+            }
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "compare" => {
+            let [old_path, new_path] = c.positional.as_slice() else {
+                return usage();
+            };
+            let old = match load_operand(Path::new(old_path)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("perf compare: {old_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let new = match load_operand(Path::new(new_path)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("perf compare: {new_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let cmp = match compare(&old, &new, c.threshold) {
+                Ok(cmp) => cmp,
+                Err(e) => {
+                    eprintln!("perf compare: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if c.github {
+                print!("{}", cmp.render_github(c.check_only));
+            }
+            print!("{}", cmp.render_text());
+            if cmp.regression_count() > 0 && !c.check_only {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        _ => usage(),
+    }
+}

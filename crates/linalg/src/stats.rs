@@ -123,6 +123,11 @@ pub fn weighted_rms(errors: &[f64], weights: &[f64]) -> f64 {
 
 /// Histogram with equal-width bins over `[lo, hi]`; values outside clamp to
 /// the edge bins. Used to print textual violin shapes for Fig. 2.
+///
+/// Bins are half-open `[edge, edge + width)` except the last, which the
+/// clamp closes: a value exactly at `hi` — in particular the series max
+/// when callers pass `hi = max` — is counted in the final bin, never
+/// dropped. `counts.iter().sum() == v.len()` always holds.
 pub fn histogram(v: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
     assert!(bins > 0 && hi > lo);
     let mut counts = vec![0usize; bins];
@@ -200,5 +205,21 @@ mod tests {
         // 2.0 clamps into bin 1.
         let h = histogram(&[-1.0, 0.1, 0.5, 0.9, 2.0], 0.0, 1.0, 2);
         assert_eq!(h, vec![2, 3]);
+    }
+
+    #[test]
+    fn histogram_counts_upper_edge_in_last_bin() {
+        // A value exactly at `hi` would index bin `bins` by the floor rule;
+        // the clamp closes the last bin so the series max is counted there.
+        // This is the contract format_violin relies on when it histograms
+        // over [min, max].
+        let v = [0.0, 0.25, 0.5, 0.75, 1.0, 1.0];
+        let h = histogram(&v, 0.0, 1.0, 4);
+        assert_eq!(h, vec![1, 1, 1, 3]);
+        assert_eq!(h.iter().sum::<usize>(), v.len());
+        // Degenerate all-equal series (span collapsed by the caller's
+        // epsilon floor): everything lands in one bin, nothing is lost.
+        let h = histogram(&[2.0, 2.0, 2.0], 2.0, 2.0 + 1e-12, 3);
+        assert_eq!(h.iter().sum::<usize>(), 3);
     }
 }
