@@ -641,7 +641,10 @@ fn synthetic_dataset(n: usize) -> al_dataset::Dataset {
 }
 
 fn al_scenarios(tier: Tier) -> Vec<Scenario> {
-    use al_core::{run_trajectory, AlOptions, StrategyKind};
+    use al_core::{
+        run_trajectory, step, AlOptions, Decision, Observation, SessionConfig, SessionState,
+        StrategyKind,
+    };
     use al_dataset::Partition;
     use al_gp::FitOptions;
     use rand::rngs::StdRng;
@@ -650,7 +653,7 @@ fn al_scenarios(tier: Tier) -> Vec<Scenario> {
         Tier::Quick => 10,
         Tier::Full => 20,
     };
-    vec![Scenario::new(
+    let mut out = vec![Scenario::new(
         "al",
         format!("rgma_sweep_{iterations}iter"),
         move || {
@@ -678,7 +681,96 @@ fn al_scenarios(tier: Tier) -> Vec<Scenario> {
                 std::hint::black_box(t.records.len());
             })
         },
-    )]
+    )];
+    // One pure session transition on a mid-flight RGMA session — the
+    // serving-layer latency unit behind SessionStore::observe (ingest the
+    // observation, close the round: incremental augment + refit decision +
+    // pool re-prediction + next selection).
+    out.push(Scenario::new("al", "session_step".to_string(), move || {
+        let dataset = synthetic_dataset(120);
+        let mut rng = StdRng::seed_from_u64(33);
+        let partition = Partition::random(dataset.len(), 10, 40, &mut rng);
+        let opts = AlOptions {
+            initial_fit: FitOptions {
+                n_restarts: 0,
+                max_iters: 10,
+                ..FitOptions::default()
+            },
+            refit: FitOptions {
+                n_restarts: 0,
+                max_iters: 5,
+                ..FitOptions::default()
+            },
+            mem_limit_log: Some(dataset.memory_limit_log(0.95)),
+            ..AlOptions::default()
+        };
+        let config = SessionConfig::from_partition(
+            &dataset,
+            &partition,
+            StrategyKind::Rgma { base: 10.0 },
+            &opts,
+        );
+        let (mut state, mut decision) =
+            SessionState::start(config).expect("synthetic session starts");
+        // Advance to a mid-flight state so the timed step is representative
+        // (a few points past the initial design, pool still large).
+        for _ in 0..3 {
+            let q = decision.query().expect("session still mid-flight");
+            let obs = Observation::from_dataset(&dataset, q.dataset_index);
+            let (s, d) = step(state, &obs).expect("synthetic step succeeds");
+            state = s;
+            decision = d;
+        }
+        let q = decision.query().expect("session still mid-flight");
+        let obs = Observation::from_dataset(&dataset, q.dataset_index);
+        Box::new(move || {
+            let (s, d) = step(state.clone(), &obs).expect("synthetic step succeeds");
+            match d {
+                Decision::Query(next) => std::hint::black_box(next.dataset_index),
+                Decision::Stop(_) => std::hint::black_box(s.iteration()),
+            };
+        })
+    }));
+    // Warm-start contrast: opening a session with cached hyperparameters
+    // from the LRU (short refit polish) vs. a cold open (full restarted
+    // optimization) — the quantity the SessionStore's warm cache saves.
+    for (name, use_warm) in [("warm_start_cold", false), ("warm_start_hit", true)] {
+        out.push(Scenario::new("al", name.to_string(), move || {
+            let dataset = synthetic_dataset(120);
+            let mut rng = StdRng::seed_from_u64(35);
+            let partition = Partition::random(dataset.len(), 10, 40, &mut rng);
+            let opts = AlOptions {
+                initial_fit: FitOptions {
+                    n_restarts: 1,
+                    max_iters: 40,
+                    ..FitOptions::default()
+                },
+                refit: FitOptions {
+                    n_restarts: 0,
+                    max_iters: 5,
+                    ..FitOptions::default()
+                },
+                mem_limit_log: Some(dataset.memory_limit_log(0.95)),
+                ..AlOptions::default()
+            };
+            let config = SessionConfig::from_partition(
+                &dataset,
+                &partition,
+                StrategyKind::Rgma { base: 10.0 },
+                &opts,
+            );
+            let warm = use_warm.then(|| {
+                let (donor, _) = SessionState::start(config.clone()).expect("donor session starts");
+                donor.warm_hyperparams()
+            });
+            Box::new(move || {
+                let (s, d) = SessionState::start_warm(config.clone(), warm.as_ref())
+                    .expect("synthetic session starts");
+                std::hint::black_box((s.iteration(), d.query().is_some()));
+            })
+        }));
+    }
+    out
 }
 
 /// Build the full registry for a tier, optionally restricted to `groups`
@@ -1212,6 +1304,11 @@ mod tests {
         assert!(names.contains(&"amr/solver_step_threads_1".to_string()));
         assert!(names.contains(&"amr/solver_step_threads_all".to_string()));
         assert!(names.iter().any(|n| n.starts_with("al/rgma_sweep_")));
+        // PR 8: the session core's serving-latency unit and the warm-start
+        // contrast pair backing the SessionStore's hyperparameter LRU.
+        assert!(names.contains(&"al/session_step".to_string()));
+        assert!(names.contains(&"al/warm_start_cold".to_string()));
+        assert!(names.contains(&"al/warm_start_hit".to_string()));
         // Unknown group is a typed error.
         assert!(matches!(
             registry(Tier::Quick, &["nope".to_string()]),

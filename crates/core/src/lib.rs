@@ -16,6 +16,12 @@
 //! [`batch::run_batch`] runs many trajectories over random partitions in
 //! parallel (the paper's `multiprocessing` batches) so strategy statistics
 //! are independent of any particular partition.
+//!
+//! [`session`] re-expresses the loop body as an explicit [`SessionState`]
+//! value plus a pure [`step`] transition function — the serving-layer
+//! shape — and [`store`] shards many live sessions behind per-shard locks
+//! with a warm-start hyperparameter cache. [`run_trajectory`] is a thin
+//! driver over the session core; the two are byte-identical by test.
 
 pub mod analysis;
 pub mod batch;
@@ -23,13 +29,19 @@ pub mod context;
 pub mod io;
 pub mod metrics;
 pub mod procedure;
+pub mod session;
 pub mod stopping;
+pub mod store;
 pub mod strategy;
 pub mod trajectory;
 
 pub use batch::{run_batch, BatchSpec};
 pub use context::SelectionContext;
 pub use procedure::{run_trajectory, AlOptions};
+pub use session::{
+    step, Decision, EvalSet, Observation, Query, SessionConfig, SessionState, WarmHyperparams,
+};
 pub use stopping::StopReason;
+pub use store::{HyperparamLru, SessionError, SessionStore, WarmKey};
 pub use strategy::{SelectionStrategy, StrategyKind};
 pub use trajectory::{IterationRecord, Trajectory};

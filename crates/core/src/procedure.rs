@@ -1,17 +1,18 @@
 //! Algorithm 1: the active-learning procedure that incrementally trains
 //! cost and memory GPR models by selecting one experiment at a time.
+//!
+//! Since the session-core split, this module is a thin driver: the loop
+//! body itself lives in [`crate::session`] as a pure transition function,
+//! and [`run_trajectory`] merely feeds it dataset lookups. The replay
+//! suite in `tests/session_parity.rs` proves the driver byte-identical to
+//! the pre-split loop.
 
-use crate::context::SelectionContext;
-use crate::metrics::{self, CumulativeTracker};
-use crate::stopping::{StabilizationDetector, StopReason, VectorStabilization};
+use crate::session::{step, Decision, Observation, SessionConfig, SessionState};
 use crate::strategy::StrategyKind;
-use crate::trajectory::{IterationRecord, Trajectory};
+use crate::trajectory::Trajectory;
 use al_dataset::{Dataset, Partition};
-use al_gp::{FitOptions, GpError, GpModel, KernelKind};
-use al_linalg::Matrix;
-use al_units::{LogMegabytes, Megabytes, NodeHours};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use al_gp::{FitOptions, GpError, KernelKind};
+use al_units::LogMegabytes;
 
 /// Options controlling one AL trajectory.
 #[derive(Debug, Clone)]
@@ -49,7 +50,7 @@ pub struct AlOptions {
     /// hyperparameter vector.
     pub hyperparam_stabilization: Option<(usize, f64)>,
     /// Absorb newly acquired samples by `O(n²)` bordered-Cholesky updates
-    /// ([`GpModel::augment`]) between hyperparameter re-optimizations,
+    /// ([`al_gp::GpModel::augment`]) between hyperparameter re-optimizations,
     /// instead of `O(n³)` refactorizations. Numerically equivalent up to
     /// rounding (near-tie greedy picks may reorder). Off by default —
     /// full refits are the paper-faithful reference path; enable for
@@ -79,232 +80,28 @@ impl Default for AlOptions {
     }
 }
 
-/// Growing training set: scaled features plus log responses.
-struct TrainingSet {
-    rows: Vec<f64>,
-    n: usize,
-    cost: Vec<f64>,
-    memory: Vec<f64>,
-}
-
-impl TrainingSet {
-    fn from_partition(dataset: &Dataset, indices: &[usize]) -> Self {
-        let x = dataset.features_scaled(indices);
-        TrainingSet {
-            rows: x.as_slice().to_vec(),
-            n: indices.len(),
-            cost: dataset.log_cost(indices),
-            memory: dataset.log_memory(indices),
-        }
-    }
-
-    fn push(&mut self, dataset: &Dataset, index: usize) {
-        self.rows.extend_from_slice(&dataset.scaled_row(index));
-        self.n += 1;
-        self.cost.extend(dataset.log_cost(&[index]));
-        self.memory.extend(dataset.log_memory(&[index]));
-    }
-
-    fn x(&self) -> Matrix {
-        Matrix::from_vec(self.n, 5, self.rows.clone())
-    }
-}
-
 /// Run one AL trajectory of `kind` over the given partition (Algorithm 1).
 ///
 /// Both GP models are fit on the Initial partition with full hyperparameter
 /// optimization, then AL repeatedly: predicts all remaining Active
 /// candidates, asks the strategy for one, acquires its responses, retrains,
 /// and records cost/regret/RMSE metrics.
+///
+/// The loop itself is [`crate::session::step`]; this driver answers each
+/// [`Decision::Query`] with a dataset lookup until the session stops.
 pub fn run_trajectory(
     dataset: &Dataset,
     partition: &Partition,
     kind: StrategyKind,
     opts: &AlOptions,
 ) -> Result<Trajectory, GpError> {
-    assert!(
-        !kind.is_memory_aware() || opts.mem_limit_log.is_some(),
-        "RGMA requires AlOptions::mem_limit_log"
-    );
-    let strategy = kind.build();
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-
-    let mut train = TrainingSet::from_partition(dataset, &partition.init);
-    let mut gp_cost = GpModel::new(
-        opts.kernel.build(opts.init_length_scale),
-        opts.noise_variance,
-    );
-    let mut gp_mem = GpModel::new(
-        opts.kernel.build(opts.init_length_scale),
-        opts.noise_variance,
-    );
-    gp_cost.fit_optimized(&train.x(), &train.cost, &opts.initial_fit)?;
-    gp_mem.fit_optimized(&train.x(), &train.memory, &opts.initial_fit)?;
-
-    let x_test = dataset.features_scaled(&partition.test);
-    let test_cost_raw = dataset.raw_cost(&partition.test);
-    let test_mem_raw = dataset.raw_memory(&partition.test);
-    let test_rmse = |gp_cost: &GpModel, gp_mem: &GpModel| -> Result<(f64, f64), GpError> {
-        let pc = gp_cost.predict(&x_test)?;
-        let pm = gp_mem.predict(&x_test)?;
-        Ok((
-            metrics::rmse_nonlog(&pc.mean, &test_cost_raw),
-            metrics::rmse_nonlog(&pm.mean, &test_mem_raw),
-        ))
-    };
-    let (initial_rmse_cost, initial_rmse_mem) = test_rmse(&gp_cost, &gp_mem)?;
-
-    let mut active: Vec<usize> = partition.active.clone();
-    let mem_limit_raw = opts.mem_limit_log.map(|l| l.to_megabytes());
-    let mut tracker = CumulativeTracker::default();
-    let mut detector = opts
-        .stabilization
-        .map(|(w, tol)| StabilizationDetector::new(w, tol));
-    let mut hp_detector = opts
-        .hyperparam_stabilization
-        .map(|(w, tol)| VectorStabilization::new(w, tol));
-
-    let mut records = Vec::with_capacity(active.len());
-    let max_iterations = opts.max_iterations.unwrap_or(usize::MAX);
-    assert!(opts.batch_size >= 1, "batch_size must be at least 1");
-    let mut iteration = 0usize;
-
-    let stop_reason = loop {
-        if active.is_empty() {
-            break StopReason::ActiveExhausted;
-        }
-        if iteration >= max_iterations {
-            break StopReason::MaxIterations;
-        }
-
-        // Algorithm 1, lines 3–5: predict all remaining candidates, then
-        // delegate the choice to the selection algorithm. With batching
-        // (paper §VI), up to `batch_size` picks come from these same
-        // (progressively shrinking) predictions before the models retrain.
-        let x_active = dataset.features_scaled(&active);
-        let pred_cost = gp_cost.predict(&x_active)?;
-        let pred_mem = gp_mem.predict(&x_active)?;
-        let mut mu_c = pred_cost.mean;
-        let mut sg_c = pred_cost.std;
-        let mut mu_m = pred_mem.mean;
-        let mut sg_m = pred_mem.std;
-
-        let mut picked: Vec<usize> = Vec::with_capacity(opts.batch_size);
-        let mut refused = false;
-        while picked.len() < opts.batch_size
-            && !active.is_empty()
-            && iteration + picked.len() < max_iterations
-        {
-            let ctx = SelectionContext {
-                mu_cost: &mu_c,
-                sigma_cost: &sg_c,
-                mu_mem: &mu_m,
-                sigma_mem: &sg_m,
-                mem_limit_log: opts.mem_limit_log,
-            };
-            match strategy.select(&ctx, &mut rng) {
-                Some(k) => {
-                    picked.push(active.remove(k));
-                    mu_c.remove(k);
-                    sg_c.remove(k);
-                    mu_m.remove(k);
-                    sg_m.remove(k);
-                }
-                None => {
-                    refused = true;
-                    break;
-                }
-            }
-        }
-        if picked.is_empty() {
-            break StopReason::AllCandidatesRefused;
-        }
-
-        let crossed_optimize_boundary =
-            (iteration + picked.len()) / opts.optimize_every > iteration / opts.optimize_every;
-
-        // Lines 6–9: acquire the batch. With incremental updates enabled,
-        // each sample is absorbed by an O(n²) bordered-Cholesky update on
-        // the spot; otherwise the models refit once after the batch.
-        let mut acquired: Vec<(usize, NodeHours, Megabytes, NodeHours, NodeHours, NodeHours)> =
-            Vec::new();
-        for &dataset_index in &picked {
-            let sample = dataset.sample(dataset_index);
-            let cost = sample.cost_node_hours;
-            let memory = sample.memory_mb;
-            let regret = tracker.record(cost, memory, mem_limit_raw);
-            train.push(dataset, dataset_index);
-            if opts.incremental && !crossed_optimize_boundary {
-                let row = dataset.scaled_row(dataset_index);
-                gp_cost.augment(&row, dataset.log_cost(&[dataset_index])[0])?;
-                gp_mem.augment(&row, dataset.log_memory(&[dataset_index])[0])?;
-            }
-            acquired.push((
-                dataset_index,
-                cost,
-                memory,
-                regret,
-                tracker.cumulative_cost(),
-                tracker.cumulative_regret(),
-            ));
-        }
-
-        // Lines 10–11: retrain both models on Initial + everything learned,
-        // periodically re-optimizing hyperparameters from a warm start
-        // (cadence counted in selections, not rounds).
-        if crossed_optimize_boundary {
-            let x = train.x();
-            gp_cost.fit_optimized(&x, &train.cost, &opts.refit)?;
-            gp_mem.fit_optimized(&x, &train.memory, &opts.refit)?;
-        } else if !opts.incremental {
-            let x = train.x();
-            gp_cost.fit(&x, &train.cost)?;
-            gp_mem.fit(&x, &train.memory)?;
-        }
-
-        // RMSE is measured once per retraining round and shared by the
-        // round's records (within a batch the model does not change).
-        let (rmse_cost, rmse_mem) = test_rmse(&gp_cost, &gp_mem)?;
-        for (offset, (dataset_index, cost, memory, regret, cc, cr)) in
-            acquired.into_iter().enumerate()
-        {
-            records.push(IterationRecord {
-                iteration: iteration + offset,
-                dataset_index,
-                cost,
-                memory,
-                regret,
-                cumulative_cost: cc,
-                cumulative_regret: cr,
-                rmse_cost,
-                rmse_mem,
-            });
-        }
-        iteration += picked.len();
-
-        if refused {
-            break StopReason::AllCandidatesRefused;
-        }
-        if let Some(detector) = detector.as_mut() {
-            if detector.push(rmse_cost) {
-                break StopReason::PredictionsStabilized;
-            }
-        }
-        if let Some(hp) = hp_detector.as_mut() {
-            if hp.push(&gp_cost.hyperparams()) {
-                break StopReason::HyperparamsStabilized;
-            }
-        }
-    };
-
-    Ok(Trajectory {
-        strategy: kind.label().to_string(),
-        n_init: partition.init.len(),
-        initial_rmse_cost,
-        initial_rmse_mem,
-        records,
-        stop_reason,
-    })
+    let config = SessionConfig::from_partition(dataset, partition, kind, opts);
+    let (mut state, mut decision) = SessionState::start(config)?;
+    while let Decision::Query(query) = decision {
+        let obs = Observation::from_dataset(dataset, query.dataset_index);
+        (state, decision) = step(state, &obs)?;
+    }
+    Ok(state.into_trajectory())
 }
 
 #[cfg(test)]
@@ -350,7 +147,10 @@ pub(crate) mod test_util {
 mod tests {
     use super::test_util::synth_dataset;
     use super::*;
+    use crate::stopping::StopReason;
     use al_linalg::stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn fast_opts() -> AlOptions {
         AlOptions {

@@ -671,6 +671,66 @@ mod tests {
     }
 
     #[test]
+    fn augment_matches_full_refit_randomized_sweep() {
+        // The session core's incremental path leans on `augment` for every
+        // between-refit update, so pin the O(n²) bordered update to the
+        // O(n³) refit across the shapes sessions actually produce: input
+        // dims {1, 2, 5} × kernel families × augment chains up to 8.
+        use crate::kernel::KernelKind;
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let n0 = 6usize;
+        for dim in [1usize, 2, 5] {
+            for kind in [KernelKind::Rbf, KernelKind::Matern52] {
+                for chain in 1..=8usize {
+                    let n = n0 + chain;
+                    let data: Vec<f64> = (0..n * dim).map(|_| rng.random_range(0.0..3.0)).collect();
+                    let x = Matrix::from_vec(n, dim, data);
+                    let y: Vec<f64> = (0..n)
+                        .map(|i| {
+                            x.row(i).iter().map(|v| (1.3 * v).sin()).sum::<f64>()
+                                + 0.05 * rng.random_range(-1.0..1.0)
+                        })
+                        .collect();
+
+                    let x0 = x.select_rows(&(0..n0).collect::<Vec<_>>());
+                    let mut inc = GpModel::new(kind.build(0.8), 1e-4).without_normalization();
+                    inc.fit(&x0, &y[..n0]).unwrap();
+                    for (i, &yi) in y.iter().enumerate().skip(n0) {
+                        inc.augment(x.row(i), yi).unwrap();
+                    }
+                    let mut fresh = GpModel::new(kind.build(0.8), 1e-4).without_normalization();
+                    fresh.fit(&x, &y).unwrap();
+
+                    assert_eq!(inc.n_train(), n);
+                    let (li, lf) = (inc.lml().unwrap(), fresh.lml().unwrap());
+                    assert!(
+                        (li - lf).abs() < 1e-8 * (1.0 + lf.abs()),
+                        "LML dim={dim} kernel={} chain={chain}: {li} vs {lf}",
+                        kind.label()
+                    );
+                    for probe in 0..3 {
+                        let q: Vec<f64> = (0..dim).map(|_| rng.random_range(0.0..3.0)).collect();
+                        let (mi, si) = inc.predict_one(&q).unwrap();
+                        let (mf, sf) = fresh.predict_one(&q).unwrap();
+                        assert!(
+                            (mi - mf).abs() < 1e-8,
+                            "mean dim={dim} kernel={} chain={chain} probe={probe}",
+                            kind.label()
+                        );
+                        assert!(
+                            (si - sf).abs() < 1e-8,
+                            "std dim={dim} kernel={} chain={chain} probe={probe}",
+                            kind.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn augment_duplicate_point_falls_back_gracefully() {
         // Augmenting with an exact duplicate makes the bordered matrix
         // nearly singular; the fallback refit must keep the model usable.

@@ -1,7 +1,14 @@
-//! Online active learning: instead of consulting a precomputed database
-//! (the paper's offline simulator), drive the *live* AMR solver — each AL
-//! iteration launches the selected simulation, measures it, and retrains.
-//! This is the workflow an experimenter would run against a real cluster.
+//! Online active learning served through the session core: a
+//! [`SessionStore`] owns the AL state, and this driver is a pure client —
+//! it asks for a decision, launches the *live* AMR solver for the queried
+//! configuration, and reports the measurement back. No GP, strategy, or
+//! stopping logic lives out here; that is the point of the split.
+//!
+//! A second campaign on the same grid then warm-starts from the
+//! hyperparameters the first campaign left in the store's LRU (the
+//! paper's "use the old model's parameters as a starting point", applied
+//! across sessions — the contrast the `warm_start_hit` perf scenario
+//! measures).
 //!
 //! Run: `cargo run --release --example online_al`
 
@@ -9,110 +16,175 @@
 // library code (see alint L1).
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
-use al_for_amr::amr::{run_simulation, MachineModel, SolverProfile};
+use al_for_amr::al::{
+    AlOptions, Decision, Observation, SessionConfig, SessionStore, StrategyKind, WarmKey,
+};
+use al_for_amr::amr::{run_simulation, MachineModel, SimulationConfig, SolverProfile};
 use al_for_amr::dataset::transform::log10_response;
 use al_for_amr::dataset::{FeatureScaler, SweepGrid};
-use al_for_amr::gp::{FitOptions, GpModel, KernelKind};
-use al_for_amr::linalg::rng::weighted_index;
 use al_for_amr::linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use al_for_amr::units::{LogMegabytes, NodeHours};
 
 /// Memory budget per process, MB: candidates predicted above it are
 /// filtered out (RGMA's safety rule).
 const MEM_LIMIT_MB: f64 = 3.0;
 
-/// Iterations of online AL to run.
+/// Iteration cap for the first campaign.
 const ITERATIONS: usize = 12;
 
-fn main() {
-    // Candidate pool: the small sweep grid (32 configurations).
-    let grid = SweepGrid::small();
-    let mut candidates = grid.all_configs();
-    let scaler = FeatureScaler::fit(&candidates.iter().map(|c| c.features()).collect::<Vec<_>>());
-    let machine = MachineModel::default();
-    let profile = SolverProfile::smoke();
-    let mut rng = StdRng::seed_from_u64(11);
+/// Configurations run up front to seed the models (the paper's "verify
+/// correctness on a new platform" first runs).
+const N_BOOTSTRAP: usize = 3;
 
-    // Bootstrap: run the cheapest-looking configuration first (the paper's
-    // "verify correctness on a new platform" first run).
-    let first = candidates.remove(0);
-    println!("bootstrap run: {first:?}");
-    let outcome = run_simulation(&first, profile, &machine, 0).expect("simulation");
-    let mut xs: Vec<[f64; 5]> = vec![scaler.transform(&first.features())];
-    let mut log_costs = vec![log10_response(outcome.cost_node_hours.value())];
-    let mut log_mems = vec![log10_response(outcome.memory_mb.value())];
-    let mut total_cost = outcome.cost_node_hours;
+/// The experimenter's side of the loop: the candidate grid, the live
+/// solver, and the running bill. Everything the session core does *not*
+/// own.
+struct Lab {
+    configs: Vec<SimulationConfig>,
+    scaler: FeatureScaler,
+    machine: MachineModel,
+    profile: SolverProfile,
+    total_cost: NodeHours,
+}
 
-    let mut gp_cost = GpModel::new(KernelKind::Rbf.build(0.3), 1e-3);
-    let mut gp_mem = GpModel::new(KernelKind::Rbf.build(0.3), 1e-3);
-    let fit = FitOptions::default();
-    let train = |gp: &mut GpModel, xs: &[[f64; 5]], ys: &[f64]| {
-        let data: Vec<f64> = xs.iter().flatten().copied().collect();
-        let x = Matrix::from_vec(xs.len(), 5, data);
-        gp.fit_optimized(&x, ys, &fit).expect("fit");
-    };
-    train(&mut gp_cost, &xs, &log_costs);
-    train(&mut gp_mem, &xs, &log_mems);
-
-    let limit_log = MEM_LIMIT_MB.log10();
-    println!("memory limit: {MEM_LIMIT_MB} MB per process\n");
-    println!("iter  p  mx  maxlevel    r0  rhoin   pred-cost  actual-cost  mem(MB)  safe?");
-
-    for iter in 0..ITERATIONS {
-        if candidates.is_empty() {
-            println!("candidate pool exhausted");
-            break;
+impl Lab {
+    fn new() -> Lab {
+        // Candidate pool: the small sweep grid (32 configurations).
+        let configs = SweepGrid::small().all_configs();
+        let scaler = FeatureScaler::fit(&configs.iter().map(|c| c.features()).collect::<Vec<_>>());
+        Lab {
+            configs,
+            scaler,
+            machine: MachineModel::default(),
+            profile: SolverProfile::smoke(),
+            total_cost: NodeHours::new(0.0),
         }
-        // Predict every remaining candidate.
-        let rows: Vec<f64> = candidates
-            .iter()
-            .flat_map(|c| scaler.transform(&c.features()))
-            .collect();
-        let xq = Matrix::from_vec(candidates.len(), 5, rows);
-        let pc = gp_cost.predict(&xq).expect("predict cost");
-        let pm = gp_mem.predict(&xq).expect("predict mem");
-
-        // RGMA: filter unsafe candidates, goodness-draw among the rest.
-        let safe: Vec<usize> = (0..candidates.len())
-            .filter(|&i| pm.mean[i] < limit_log)
-            .collect();
-        if safe.is_empty() {
-            println!("all remaining candidates predicted to exceed the limit; stopping");
-            break;
-        }
-        let weights: Vec<f64> = safe
-            .iter()
-            .map(|&i| 10f64.powf(pc.std[i] - pc.mean[i]))
-            .collect();
-        let pick = safe[weighted_index(&mut rng, &weights).expect("draw")];
-        let predicted_cost = 10f64.powf(pc.mean[pick]);
-        let config = candidates.remove(pick);
-
-        // Run the actual simulation.
-        let outcome = run_simulation(&config, profile, &machine, 0).expect("simulation");
-        total_cost += outcome.cost_node_hours;
-        let safe_actual = outcome.memory_mb.value() < MEM_LIMIT_MB;
-        println!(
-            "{iter:>4} {:>2} {:>3} {:>9} {:>5.2} {:>6.2}  {:>10.4}  {:>11.4}  {:>7.3}  {}",
-            config.p,
-            config.mx,
-            config.maxlevel,
-            config.r0,
-            config.rhoin,
-            predicted_cost,
-            outcome.cost_node_hours,
-            outcome.memory_mb,
-            if safe_actual { "yes" } else { "VIOLATION" }
-        );
-
-        // Retrain with the new measurement.
-        xs.push(scaler.transform(&config.features()));
-        log_costs.push(log10_response(outcome.cost_node_hours.value()));
-        log_mems.push(log10_response(outcome.memory_mb.value()));
-        train(&mut gp_cost, &xs, &log_costs);
-        train(&mut gp_mem, &xs, &log_mems);
     }
 
-    println!("\ntotal cost of the online campaign: {total_cost:.3} node-hours");
+    /// Launch simulation `id` and package the measurement as the session
+    /// observation. The session never sees the solver — only this.
+    fn run_and_observe(&mut self, id: usize) -> Observation {
+        let config = &self.configs[id];
+        let outcome = run_simulation(config, self.profile, &self.machine, 0).expect("simulation");
+        self.total_cost += outcome.cost_node_hours;
+        Observation {
+            dataset_index: id,
+            cost: outcome.cost_node_hours,
+            memory: outcome.memory_mb,
+            features_scaled: self.scaler.transform(&config.features()).to_vec(),
+            log_cost: log10_response(outcome.cost_node_hours.value()),
+            log_mem: log10_response(outcome.memory_mb.value()),
+        }
+    }
+
+    /// Build a session config: bootstrap runs become the initial labelled
+    /// pool, the rest of the grid the candidate pool. `eval: None` is the
+    /// serving deployment — no held-out split exists, records carry NaN
+    /// RMSE.
+    fn session_config(&mut self, opts: AlOptions) -> SessionConfig {
+        let mut init_rows = Vec::new();
+        let mut init_log_cost = Vec::new();
+        let mut init_log_mem = Vec::new();
+        for id in 0..N_BOOTSTRAP {
+            let obs = self.run_and_observe(id);
+            init_rows.extend_from_slice(&obs.features_scaled);
+            init_log_cost.push(obs.log_cost);
+            init_log_mem.push(obs.log_mem);
+        }
+        let candidate_ids: Vec<usize> = (N_BOOTSTRAP..self.configs.len()).collect();
+        let cand_rows: Vec<f64> = candidate_ids
+            .iter()
+            .flat_map(|&i| self.scaler.transform(&self.configs[i].features()))
+            .collect();
+        SessionConfig {
+            kind: StrategyKind::Rgma { base: 10.0 },
+            opts,
+            init_features: Matrix::from_vec(N_BOOTSTRAP, 5, init_rows),
+            init_log_cost,
+            init_log_mem,
+            candidate_features: Matrix::from_vec(candidate_ids.len(), 5, cand_rows),
+            candidate_ids,
+            eval: None,
+        }
+    }
+
+    /// Drive one session to completion through the store, printing each
+    /// query's predictions next to the measured outcome.
+    fn drive_session(&mut self, store: &SessionStore, id: u64, mut decision: Decision) {
+        println!("iter  p  mx  maxlevel    r0  rhoin   pred-cost  actual-cost  mem(MB)  safe?");
+        let mut iter = 0usize;
+        while let Decision::Query(query) = decision {
+            let obs = self.run_and_observe(query.dataset_index);
+            let config = &self.configs[query.dataset_index];
+            let safe_actual = obs.memory.value() < MEM_LIMIT_MB;
+            println!(
+                "{iter:>4} {:>2} {:>3} {:>9} {:>5.2} {:>6.2}  {:>10.4}  {:>11.4}  {:>7.3}  {}",
+                config.p,
+                config.mx,
+                config.maxlevel,
+                config.r0,
+                config.rhoin,
+                10f64.powf(query.pred_cost_log),
+                obs.cost,
+                obs.memory,
+                if safe_actual { "yes" } else { "VIOLATION" }
+            );
+            decision = store.observe(id, &obs).expect("observe");
+            iter += 1;
+        }
+        let trajectory = store.finish(id).expect("finish");
+        println!(
+            "session {id}: {} iterations, stopped: {:?}\n",
+            trajectory.records.len(),
+            trajectory.stop_reason
+        );
+    }
+}
+
+fn main() {
+    let mut lab = Lab::new();
+    let opts = AlOptions {
+        max_iterations: Some(ITERATIONS),
+        mem_limit_log: Some(LogMegabytes::new(MEM_LIMIT_MB.log10())),
+        ..AlOptions::default()
+    };
+    println!("memory limit: {MEM_LIMIT_MB} MB per process\n");
+
+    // The store owns the session; the key ties its fitted hyperparameters
+    // to this (grid, kernel) pair in the warm-start LRU.
+    let store = SessionStore::with_warm_capacity(1, 8);
+    let key = WarmKey::new("sweep-small", "RBF");
+    let config = lab.session_config(opts.clone());
+    let decision = store
+        .create(0, config, Some(key.clone()))
+        .expect("create session");
+    lab.drive_session(&store, 0, decision);
+
+    // Second campaign, same grid: `create` finds the cached hyperparameters
+    // under the key and opens with the cheap refit schedule instead of the
+    // multi-start initial optimization.
+    assert!(store.warm_keys().contains(&key), "first campaign cached");
+    println!(
+        "warm-started second campaign (cached keys: {:?})",
+        store
+            .warm_keys()
+            .iter()
+            .map(|k| k.grid.clone())
+            .collect::<Vec<_>>()
+    );
+    let opts2 = AlOptions {
+        max_iterations: Some(4),
+        seed: 7,
+        ..opts
+    };
+    let config = lab.session_config(opts2);
+    let decision = store
+        .create(1, config, Some(key))
+        .expect("create warm session");
+    lab.drive_session(&store, 1, decision);
+
+    println!(
+        "total cost of both campaigns: {:.3} node-hours",
+        lab.total_cost
+    );
 }
