@@ -68,6 +68,7 @@ impl Default for Config {
                 "crates/amr",
                 "crates/dataset",
                 "crates/core",
+                "crates/parallel",
             ]
             .map(String::from)
             .to_vec(),
@@ -135,14 +136,15 @@ impl Default for Config {
                 "crates/core",
                 "crates/units",
                 "crates/bench",
+                "crates/parallel",
             ]
             .map(String::from)
             .to_vec(),
             // Each blessed module owns a fan-out with an audited ordered
             // reduction (index-addressed result slots folded in input
-            // order); see DESIGN §7/§9.
+            // order); see DESIGN §7/§9 and §13.
             spawn_approved: [
-                "crates/amr/src/pool.rs",
+                "crates/parallel/src/pool.rs",
                 "crates/core/src/batch.rs",
                 "crates/dataset/src/generate.rs",
             ]
@@ -458,9 +460,10 @@ count = 1
     }
 
     #[test]
-    fn defaults_cover_the_five_lib_crates() {
+    fn defaults_cover_the_lib_crates() {
         let cfg = Config::default();
-        assert_eq!(cfg.lib_crates.len(), 5);
+        assert_eq!(cfg.lib_crates.len(), 6);
+        assert!(cfg.lib_crates.contains(&"crates/parallel".to_string()));
         assert!(cfg.typed_error_crates.contains(&"crates/gp".to_string()));
     }
 
@@ -509,12 +512,15 @@ count = 1
         let d = Config::default();
         assert!(d
             .spawn_approved
-            .contains(&"crates/amr/src/pool.rs".to_string()));
+            .contains(&"crates/parallel/src/pool.rs".to_string()));
         assert!(d
             .spawn_approved
             .contains(&"crates/core/src/batch.rs".to_string()));
         assert!(d.wall_clock_approved.contains(&"crates/bench".to_string()));
         assert!(d.determinism_crates.contains(&"crates/amr".to_string()));
+        assert!(d
+            .determinism_crates
+            .contains(&"crates/parallel".to_string()));
         assert!(d.ordered_containers.contains(&"BTreeMap".to_string()));
     }
 

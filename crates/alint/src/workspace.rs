@@ -135,8 +135,11 @@ mod tests {
     #[test]
     fn determinism_exemptions_follow_config() {
         let config = Config::default();
-        let s = scope_for("crates/amr/src/pool.rs", &config);
+        let s = scope_for("crates/parallel/src/pool.rs", &config);
         assert!(s.determinism && s.spawn_blessed && !s.wall_clock_approved);
+        // The old amr pool delegates to al-parallel now — no longer blessed.
+        let s = scope_for("crates/amr/src/pool.rs", &config);
+        assert!(s.determinism && !s.spawn_blessed);
         let s = scope_for("crates/core/src/batch.rs", &config);
         assert!(s.determinism && s.spawn_blessed);
         let s = scope_for("crates/dataset/src/generate.rs", &config);

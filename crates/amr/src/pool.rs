@@ -18,22 +18,21 @@
 //! identical for any thread count, including 1** — `data/dataset.csv` can
 //! never silently change because a run used more cores.
 //!
-//! The pool itself is a small persistent object: it owns the resolved
-//! worker count and one [`SweepScratch`] per worker (reused across every
-//! sweep of the run), and spawns borrowing workers per sweep via
-//! [`std::thread::scope`] — no channels, no locks, no new dependencies.
-//! With one worker (or a level too small to be worth splitting) the sweep
-//! runs inline on the coordinating thread, which is exactly the pre-pool
+//! The pool itself is a small persistent object: it owns an
+//! [`al_parallel::WorkerPool`] (resolved worker count) and one
+//! [`SweepScratch`] per worker (reused across every sweep of the run);
+//! the borrowing workers themselves are spawned by `al-parallel`, the
+//! workspace's single audited fan-out point (alint L6 `spawn_approved`,
+//! DESIGN §9/§13) — no channels, no locks, no new dependencies. With one
+//! worker (or a level too small to be worth splitting) the sweep runs
+//! inline on the coordinating thread, which is exactly the pre-pool
 //! serial loop.
-//!
-//! This file is one of the three `spawn_approved` modules under alint
-//! L6 (DESIGN §9); everywhere else, `spawn`/parallel iterators are a
-//! lint violation and must route through an audited pool like this one.
 
 use crate::patch::{BoundaryFluxes, Patch, SweepScratch};
 use crate::tree::{Axis, PatchKey};
-use std::num::NonZeroUsize;
-use std::ops::Range;
+use al_parallel::WorkerPool;
+
+pub use al_parallel::chunk_ranges;
 
 /// Minimum patches per worker chunk. Spawning a thread costs tens of
 /// microseconds — about the price of sweeping a handful of small patches —
@@ -41,33 +40,6 @@ use std::ops::Range;
 /// The value only shapes the schedule, never the results (ordered
 /// reduction makes every schedule produce identical bits).
 pub const MIN_CHUNK: usize = 4;
-
-/// Partition `0..n_items` into at most `max_chunks` contiguous, non-empty,
-/// ascending ranges of at least `min_per_chunk` items each (except when
-/// fewer than `min_per_chunk` items exist in total, which yields one
-/// undersized chunk). Every index is covered exactly once; `n_items == 0`
-/// yields no chunks. Degenerate inputs (`max_chunks == 0`,
-/// `min_per_chunk == 0`, more chunks than items) are clamped rather than
-/// rejected, since callers feed it raw thread counts and level sizes.
-pub fn chunk_ranges(n_items: usize, max_chunks: usize, min_per_chunk: usize) -> Vec<Range<usize>> {
-    if n_items == 0 {
-        return Vec::new();
-    }
-    let min_per_chunk = min_per_chunk.max(1);
-    // Floor division so `chunks · min_per_chunk ≤ n_items`: every chunk of
-    // the near-even split below then holds at least `min_per_chunk` items.
-    let chunks = max_chunks.clamp(1, (n_items / min_per_chunk).max(1));
-    let base = n_items / chunks;
-    let extra = n_items % chunks;
-    let mut ranges = Vec::with_capacity(chunks);
-    let mut start = 0;
-    for c in 0..chunks {
-        let len = base + usize::from(c < extra);
-        ranges.push(start..start + len);
-        start += len;
-    }
-    ranges
-}
 
 /// What one pooled sweep produced, already reduced in patch order.
 #[derive(Debug)]
@@ -88,7 +60,7 @@ pub struct SweepOutcome {
 /// worker alive across sweeps.
 #[derive(Debug, Clone)]
 pub struct SweepPool {
-    n_workers: usize,
+    pool: WorkerPool,
     scratch: Vec<SweepScratch>,
 }
 
@@ -96,22 +68,14 @@ impl SweepPool {
     /// Build a pool with `n_threads` workers; `0` resolves to all
     /// available cores (falling back to 1 if the platform cannot say).
     pub fn new(n_threads: usize) -> Self {
-        let n_workers = if n_threads == 0 {
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        } else {
-            n_threads
-        };
-        SweepPool {
-            n_workers,
-            scratch: vec![SweepScratch::default(); n_workers],
-        }
+        let pool = WorkerPool::new(n_threads);
+        let scratch = vec![SweepScratch::default(); pool.n_workers()];
+        SweepPool { pool, scratch }
     }
 
     /// Resolved worker count (never 0).
     pub fn n_workers(&self) -> usize {
-        self.n_workers
+        self.pool.n_workers()
     }
 
     /// Sweep every patch of `patches` in direction `axis` with time step
@@ -126,7 +90,7 @@ impl SweepPool {
         patches: &mut [(PatchKey, &mut Patch)],
     ) -> SweepOutcome {
         let n = patches.len();
-        let ranges = chunk_ranges(n, self.n_workers, MIN_CHUNK);
+        let ranges = chunk_ranges(n, self.pool.n_workers(), MIN_CHUNK);
 
         if ranges.len() <= 1 {
             // Inline serial path: byte-for-byte the pre-pool solver loop —
@@ -156,12 +120,14 @@ impl SweepPool {
             self.scratch.resize(ranges.len(), SweepScratch::default());
         }
 
-        std::thread::scope(|scope| {
+        // One borrowing job per chunk; `WorkerPool::run` executes job 0 on
+        // the coordinating thread and the rest on scoped workers.
+        let mut jobs = Vec::with_capacity(ranges.len());
+        {
             let mut patch_tail: &mut [(PatchKey, &mut Patch)] = patches;
             let mut result_tail: &mut [Option<BoundaryFluxes>] = &mut results;
             let mut scratches = self.scratch.iter_mut();
-            let mut coordinator_job = None;
-            for (c, range) in ranges.iter().enumerate() {
+            for range in &ranges {
                 let len = range.len();
                 let (chunk, rest) = std::mem::take(&mut patch_tail).split_at_mut(len);
                 patch_tail = rest;
@@ -171,18 +137,10 @@ impl SweepPool {
                     // Unreachable: scratch was resized to ranges.len().
                     break;
                 };
-                if c == 0 {
-                    // The coordinating thread works too: one fewer spawn,
-                    // and a 2-worker sweep costs a single thread launch.
-                    coordinator_job = Some((chunk, out, scratch));
-                } else {
-                    scope.spawn(move || sweep_chunk(chunk, out, axis, dt, scratch));
-                }
+                jobs.push(move || sweep_chunk(chunk, out, axis, dt, scratch));
             }
-            if let Some((chunk, out, scratch)) = coordinator_job {
-                sweep_chunk(chunk, out, axis, dt, scratch);
-            }
-        });
+        }
+        self.pool.run(jobs);
 
         // Ordered reduction on the coordinating thread: fold the buffer in
         // ascending patch order, the only step that crosses chunks.
@@ -228,6 +186,7 @@ mod tests {
     use super::*;
     use crate::euler::{conservative, NVAR};
     use crate::tree::Forest;
+    use std::ops::Range;
 
     #[test]
     fn chunk_ranges_split_evenly() {

@@ -475,6 +475,39 @@ fn linalg_scenarios(tier: Tier) -> Vec<Scenario> {
             },
         ));
     }
+    // Blocked vs. unblocked factorization of the same gram matrix: the
+    // pair pins the cache-tiling speedup of the panel-packed `Cholesky`
+    // (DESIGN §13), while the in-crate parity tests pin that both paths
+    // produce identical bits. The quick tier keeps n = 1600 so the
+    // committed trajectory records the ratio at paper scale.
+    let pair_sizes: &[usize] = match tier {
+        Tier::Quick => &[400, 1600],
+        Tier::Full => &[400, 800, 1600],
+    };
+    for &n in pair_sizes {
+        out.push(Scenario::new(
+            "linalg",
+            format!("cholesky_factor_blocked_n{n}"),
+            move || {
+                let a = spd_gram(n, 17);
+                Box::new(move || {
+                    let ch = al_linalg::Cholesky::new(&a).expect("SPD gram factors");
+                    std::hint::black_box(ch.log_det());
+                })
+            },
+        ));
+        out.push(Scenario::new(
+            "linalg",
+            format!("cholesky_factor_naive_n{n}"),
+            move || {
+                let a = spd_gram(n, 17);
+                Box::new(move || {
+                    let ch = al_linalg::Cholesky::new_reference(&a).expect("SPD gram factors");
+                    std::hint::black_box(ch.log_det());
+                })
+            },
+        ));
+    }
     out
 }
 
@@ -573,6 +606,55 @@ fn gp_scenarios(tier: Tier) -> Vec<Scenario> {
             })
         },
     ));
+    // Thread-scaling pairs for the PR 9 parallel GP kernels: results are
+    // bitwise identical at any count (the index-addressed slot contract),
+    // so each pair measures pure wall-clock scaling — 1 worker vs. all
+    // cores; the all-cores variant only engages on multi-core runners.
+    for (name, n_threads) in [
+        ("kernel_matrix_threads_1", 1usize),
+        ("kernel_matrix_threads_all", 0),
+    ] {
+        out.push(Scenario::new("gp", name.to_string(), move || {
+            let (x, _) = training_data(800, 5, 28);
+            let mut gp = GpModel::new(KernelKind::Rbf.build(0.3), 1e-3);
+            gp.set_n_threads(n_threads);
+            Box::new(move || {
+                let k = gp.noisy_kernel_matrix(&x);
+                std::hint::black_box(k.as_slice()[0]);
+            })
+        }));
+    }
+    // Local-GP selection again, but with the region fan-out across the
+    // pool — the 10⁵-candidate routing loop is the AL selection hot path
+    // this PR parallelizes.
+    for (name, n_threads) in [
+        ("local_select_threads_1", 1usize),
+        ("local_select_threads_all", 0),
+    ] {
+        out.push(Scenario::new("gp", name.to_string(), move || {
+            let (x, y) = training_data(200, 5, 26);
+            let template = GpModel::new(KernelKind::Rbf.build(0.3), 1e-3);
+            let mut local = LocalGpModel::new(template, 0, 4);
+            let opts = FitOptions {
+                n_threads,
+                ..FitOptions::warm_start_only()
+            };
+            local
+                .fit_optimized(&x, &y, &opts)
+                .expect("local model fits");
+            let (grid, _) = training_data(candidates, 5, 27);
+            Box::new(move || {
+                let p = local.predict(&grid).expect("grid prediction succeeds");
+                let pick = p
+                    .std
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i);
+                std::hint::black_box(pick);
+            })
+        }));
+    }
     out
 }
 
@@ -1309,6 +1391,14 @@ mod tests {
         assert!(names.contains(&"al/session_step".to_string()));
         assert!(names.contains(&"al/warm_start_cold".to_string()));
         assert!(names.contains(&"al/warm_start_hit".to_string()));
+        // PR 9: blocked-vs-naive factorization at paper scale, plus the
+        // GP thread-scaling pairs over the shared worker pool.
+        assert!(names.contains(&"linalg/cholesky_factor_blocked_n1600".to_string()));
+        assert!(names.contains(&"linalg/cholesky_factor_naive_n1600".to_string()));
+        assert!(names.contains(&"gp/kernel_matrix_threads_1".to_string()));
+        assert!(names.contains(&"gp/kernel_matrix_threads_all".to_string()));
+        assert!(names.contains(&"gp/local_select_threads_1".to_string()));
+        assert!(names.contains(&"gp/local_select_threads_all".to_string()));
         // Unknown group is a typed error.
         assert!(matches!(
             registry(Tier::Quick, &["nope".to_string()]),
@@ -1331,6 +1421,16 @@ mod tests {
             assert!(full.contains(&format!("cholesky_factor_n{n}")), "n={n}");
             assert!(full.contains(&format!("cholesky_extend_n{n}")), "n={n}");
             assert!(full.contains(&format!("cholesky_refit_n{n}")), "n={n}");
+        }
+        for n in [400, 800, 1600] {
+            assert!(
+                full.contains(&format!("cholesky_factor_blocked_n{n}")),
+                "n={n}"
+            );
+            assert!(
+                full.contains(&format!("cholesky_factor_naive_n{n}")),
+                "n={n}"
+            );
         }
     }
 

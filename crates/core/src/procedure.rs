@@ -24,6 +24,8 @@ pub struct AlOptions {
     /// Initial observation-noise variance (log10-response units squared).
     pub noise_variance: f64,
     /// Hyperparameter optimization for the initial fit (multi-start).
+    /// `FitOptions::n_threads` also sets the worker count for the GP's
+    /// parallel kernel paths (bitwise identical for any value).
     pub initial_fit: FitOptions,
     /// Hyperparameter optimization during AL (warm-started, cheap) — the
     /// paper's "use old model's parameters as a starting point".

@@ -12,6 +12,10 @@ use crate::error::GpError;
 use crate::kernel::Kernel;
 use crate::optimize::{self, FitOptions};
 use al_linalg::{ops, Cholesky, Matrix};
+use al_parallel::{chunk_ranges, chunk_ranges_weighted, WorkerPool};
+
+/// Fewest rows a parallel chunk may hold; smaller problems run inline.
+const MIN_ROWS_PER_CHUNK: usize = 8;
 
 /// Posterior predictive summary at a batch of query points.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +65,9 @@ pub struct GpModel {
     /// When true (default), the training targets are centered before
     /// fitting and the mean is added back at prediction time.
     normalize_y: bool,
+    /// Worker pool for the kernel-matrix and batch-prediction hot paths.
+    /// Schedule-only: every path is bitwise identical for any count.
+    pool: WorkerPool,
     fitted: Option<Fitted>,
 }
 
@@ -70,6 +77,7 @@ impl std::fmt::Debug for GpModel {
             .field("kernel", &self.kernel.name())
             .field("params", &self.kernel.params())
             .field("log_noise", &self.log_noise)
+            .field("n_threads", &self.pool.n_workers())
             .field("fitted", &self.fitted.is_some())
             .finish()
     }
@@ -84,6 +92,7 @@ impl GpModel {
             kernel,
             log_noise: noise_variance.ln(),
             normalize_y: true,
+            pool: WorkerPool::new(1),
             fitted: None,
         }
     }
@@ -92,6 +101,21 @@ impl GpModel {
     pub fn without_normalization(mut self) -> Self {
         self.normalize_y = false;
         self
+    }
+
+    /// Set the worker-thread count for the parallel kernel-matrix and
+    /// batch-prediction paths (`0` = all cores, `1` = serial — the
+    /// `SolverProfile::n_threads` convention). A schedule knob only:
+    /// results are bitwise identical for any value.
+    /// [`GpModel::fit_optimized`] applies [`FitOptions::n_threads`]
+    /// automatically.
+    pub fn set_n_threads(&mut self, n_threads: usize) {
+        self.pool = WorkerPool::new(n_threads);
+    }
+
+    /// Resolved worker count used by the parallel paths.
+    pub fn n_threads(&self) -> usize {
+        self.pool.n_workers()
     }
 
     /// Natural-space noise variance `σ_n²`.
@@ -262,6 +286,7 @@ impl GpModel {
                 n_y: y.len(),
             });
         }
+        self.set_n_threads(opts.n_threads);
         // With a single observation the LML surface is degenerate; just fit.
         if x.rows() < 2 {
             return self.fit(x, y);
@@ -333,20 +358,36 @@ impl GpModel {
         );
         let n = fitted.x.rows();
         let m = xs.rows();
-        let mut mean = Vec::with_capacity(m);
-        let mut std = Vec::with_capacity(m);
-        let mut kstar = vec![0.0; n];
-        for q in 0..m {
-            let xq = xs.row(q);
-            for (i, k) in kstar.iter_mut().enumerate() {
-                *k = self.kernel.value(xq, fitted.x.row(i));
-            }
-            mean.push(fitted.y_mean + ops::dot(&kstar, &fitted.alpha));
-            // σ² = k(x*,x*) − ‖L⁻¹ k*‖², clamped at 0 against rounding.
-            let v = fitted.chol.solve_lower(&kstar)?;
-            let var = (self.kernel.diag_value() - ops::dot(&v, &v)).max(0.0);
-            std.push(var.sqrt());
+        // Each query row is computed independently into its own (μ, σ)
+        // slot, so chunking the rows across workers cannot change a bit;
+        // errors surface in chunk (= query) order, matching the serial
+        // loop's first failure.
+        let mut slots: Vec<(f64, f64)> = vec![(0.0, 0.0); m];
+        let ranges = chunk_ranges(m, self.pool.n_workers(), MIN_ROWS_PER_CHUNK);
+        let statuses = self.pool.chunked_map(
+            &mut slots,
+            &ranges,
+            1,
+            |range, chunk| -> Result<(), GpError> {
+                let mut kstar = vec![0.0; n];
+                for (local, q) in range.enumerate() {
+                    let xq = xs.row(q);
+                    for (i, k) in kstar.iter_mut().enumerate() {
+                        *k = self.kernel.value(xq, fitted.x.row(i));
+                    }
+                    let mu = fitted.y_mean + ops::dot(&kstar, &fitted.alpha);
+                    // σ² = k(x*,x*) − ‖L⁻¹ k*‖², clamped at 0 against rounding.
+                    let v = fitted.chol.solve_lower(&kstar)?;
+                    let var = (self.kernel.diag_value() - ops::dot(&v, &v)).max(0.0);
+                    chunk[local] = (mu, var.sqrt());
+                }
+                Ok(())
+            },
+        );
+        for status in statuses {
+            status?;
         }
+        let (mean, std) = slots.into_iter().unzip();
         Ok(Prediction { mean, std })
     }
 
@@ -367,26 +408,42 @@ impl GpModel {
         }
         let n = fitted.x.rows();
         let m = xs.rows();
-        // V[:, q] = L⁻¹ k*(x_q); posterior cov = K** − VᵀV.
-        let mut v = Matrix::zeros(n, m);
+        // Row q of vt is L⁻¹ k*(x_q) — stored row-major (the transpose of
+        // the classic V) so each query owns one contiguous stripe: workers
+        // fill disjoint stripes, and the covariance dots below stream two
+        // contiguous rows instead of two stride-m columns. Posterior cov =
+        // K** − VᵀV. Per-chunk means come back in chunk order, so their
+        // concatenation is the serial mean vector; so is the first error.
+        let mut vt = vec![0.0f64; m * n];
+        let ranges = chunk_ranges(m, self.pool.n_workers(), MIN_ROWS_PER_CHUNK);
+        let chunk_means = self.pool.chunked_map(
+            &mut vt,
+            &ranges,
+            n.max(1),
+            |range, stripe| -> Result<Vec<f64>, GpError> {
+                let mut kstar = vec![0.0; n];
+                let mut means = Vec::with_capacity(range.len());
+                for (local, q) in range.enumerate() {
+                    let xq = xs.row(q);
+                    for (i, k) in kstar.iter_mut().enumerate() {
+                        *k = self.kernel.value(xq, fitted.x.row(i));
+                    }
+                    means.push(fitted.y_mean + ops::dot(&kstar, &fitted.alpha));
+                    let col = fitted.chol.solve_lower(&kstar)?;
+                    stripe[local * n..(local + 1) * n].copy_from_slice(&col);
+                }
+                Ok(means)
+            },
+        );
         let mut mean = Vec::with_capacity(m);
-        let mut kstar = vec![0.0; n];
-        for q in 0..m {
-            let xq = xs.row(q);
-            for (i, k) in kstar.iter_mut().enumerate() {
-                *k = self.kernel.value(xq, fitted.x.row(i));
-            }
-            mean.push(fitted.y_mean + ops::dot(&kstar, &fitted.alpha));
-            let col = fitted.chol.solve_lower(&kstar)?;
-            for i in 0..n {
-                v[(i, q)] = col[i];
-            }
+        for chunk in chunk_means {
+            mean.extend(chunk?);
         }
         let mut cov = Matrix::zeros(m, m);
         for a in 0..m {
             for b in a..m {
                 let prior = self.kernel.value(xs.row(a), xs.row(b));
-                let reduction: f64 = (0..n).map(|i| v[(i, a)] * v[(i, b)]).sum();
+                let reduction = ops::dot(&vt[a * n..(a + 1) * n], &vt[b * n..(b + 1) * n]);
                 let c = prior - reduction;
                 cov[(a, b)] = c;
                 cov[(b, a)] = c;
@@ -442,16 +499,35 @@ impl GpModel {
         Some((lml, grad))
     }
 
-    fn noisy_kernel_matrix(&self, x: &Matrix) -> Matrix {
+    /// The noisy training covariance `K_y = K + σ_n² I` over the rows of
+    /// `x` (Eq. 3) — the matrix [`GpModel::fit`] factors. Public so the
+    /// perf harness can measure its thread scaling in isolation.
+    pub fn noisy_kernel_matrix(&self, x: &Matrix) -> Matrix {
         let n = x.rows();
         let mut k = Matrix::zeros(n, n);
+        let diag = self.kernel.diag_value() + self.noise_variance();
+        // Each worker owns a disjoint band of rows and fills that band's
+        // diagonal + upper triangle; row i costs n − i kernel evaluations,
+        // so the bands are weighted triangularly. Every entry is a single
+        // independent kernel evaluation, so the schedule cannot change any
+        // bit. The coordinator mirrors the lower triangle afterwards.
+        let ranges = chunk_ranges_weighted(n, self.pool.n_workers(), MIN_ROWS_PER_CHUNK, |i| {
+            (n - i) as u64
+        });
+        self.pool
+            .chunked_map(k.as_mut_slice(), &ranges, n.max(1), |range, band| {
+                for (local, i) in range.enumerate() {
+                    let row = &mut band[local * n..(local + 1) * n];
+                    let xi = x.row(i);
+                    row[i] = diag;
+                    for (j, slot) in row.iter_mut().enumerate().skip(i + 1) {
+                        *slot = self.kernel.value(xi, x.row(j));
+                    }
+                }
+            });
         for i in 0..n {
-            let xi = x.row(i);
-            k[(i, i)] = self.kernel.diag_value() + self.noise_variance();
             for j in (i + 1)..n {
-                let v = self.kernel.value(xi, x.row(j));
-                k[(i, j)] = v;
-                k[(j, i)] = v;
+                k[(j, i)] = k[(i, j)];
             }
         }
         k

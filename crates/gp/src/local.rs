@@ -11,6 +11,7 @@ use crate::error::GpError;
 use crate::gp::{GpModel, Prediction};
 use crate::optimize::FitOptions;
 use al_linalg::Matrix;
+use al_parallel::{chunk_ranges, WorkerPool};
 
 /// A one-axis partition of GP models.
 #[derive(Debug, Clone)]
@@ -21,6 +22,9 @@ pub struct LocalGpModel {
     /// Internal boundaries (length = regions − 1), ascending.
     boundaries: Vec<f64>,
     models: Vec<GpModel>,
+    /// Pool for the region-level prediction fan-out. The regions are the
+    /// parallel axis here, so the per-region models run serial inside it.
+    pool: WorkerPool,
 }
 
 /// Fewest training points a region may hold; sparser partitions collapse
@@ -39,6 +43,7 @@ impl LocalGpModel {
             requested_regions: n_regions,
             boundaries: Vec::new(),
             models: Vec::new(),
+            pool: WorkerPool::new(1),
         }
     }
 
@@ -115,13 +120,22 @@ impl LocalGpModel {
             ys[r].push(yi);
         }
 
+        // Threads fan out over regions (below, in `predict`), so each
+        // region's model runs its own kernels serially — nesting both
+        // levels would oversubscribe the pool.
+        self.pool = WorkerPool::new(opts.n_threads);
+        let region_opts = FitOptions {
+            n_threads: 1,
+            ..opts.clone()
+        };
+
         self.models.clear();
         for (data, yr) in rows.into_iter().zip(ys) {
             let m = data.len() / x.cols();
             debug_assert!(m > 0, "equal-count split leaves no empty region");
             let xr = Matrix::from_vec(m, x.cols(), data);
             let mut model = self.template.clone();
-            model.fit_optimized(&xr, &yr, opts)?;
+            model.fit_optimized(&xr, &yr, &region_opts)?;
             self.models.push(model);
         }
         Ok(())
@@ -137,23 +151,49 @@ impl LocalGpModel {
     /// crawling them. Each row's numbers are bitwise identical to
     /// [`LocalGpModel::predict_one`]: batching only regroups the loop,
     /// the per-row arithmetic is unchanged.
+    ///
+    /// Regions are independent, so they fan out across the pool set by
+    /// [`LocalGpModel::fit_optimized`]: each worker predicts its regions
+    /// into index-addressed slots (reusing one scratch matrix per chunk
+    /// instead of allocating per bucket), and the coordinator scatters the
+    /// slots back in region order — bitwise identical for any thread
+    /// count.
     pub fn predict(&self, xs: &Matrix) -> Result<Prediction, GpError> {
         if self.models.is_empty() {
             return Err(GpError::NotFitted);
         }
         let m = xs.rows();
-        let mut region_rows: Vec<Vec<usize>> = vec![Vec::new(); self.models.len()];
+        let k = self.models.len();
+        let mut region_rows: Vec<Vec<usize>> = vec![Vec::new(); k];
         for q in 0..m {
             region_rows[self.region_of(xs.row(q))].push(q);
         }
+        let mut region_preds: Vec<Option<Prediction>> = vec![None; k];
+        let ranges = chunk_ranges(k, self.pool.n_workers(), 1);
+        let statuses = self.pool.chunked_map(
+            &mut region_preds,
+            &ranges,
+            1,
+            |range, slots| -> Result<(), GpError> {
+                let mut scratch = Matrix::zeros(0, xs.cols());
+                for (local, r) in range.enumerate() {
+                    let rows = &region_rows[r];
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    xs.select_rows_into(rows, &mut scratch);
+                    slots[local] = Some(self.models[r].predict(&scratch)?);
+                }
+                Ok(())
+            },
+        );
+        for status in statuses {
+            status?;
+        }
         let mut mean = vec![0.0; m];
         let mut std = vec![0.0; m];
-        for (model, rows) in self.models.iter().zip(&region_rows) {
-            if rows.is_empty() {
-                continue;
-            }
-            let sub = xs.select_rows(rows);
-            let p = model.predict(&sub)?;
+        for (rows, pred) in region_rows.iter().zip(&region_preds) {
+            let Some(p) = pred else { continue };
             for (slot, (mu, sigma)) in rows.iter().zip(p.mean.iter().zip(&p.std)) {
                 mean[*slot] = *mu;
                 std[*slot] = *sigma;

@@ -70,20 +70,19 @@ impl Cholesky {
         Err(last_err)
     }
 
-    fn factor(a: &Matrix, jitter: f64) -> Result<Self, LinalgError> {
-        if a.rows() != a.cols() {
-            return Err(LinalgError::NotSquare { shape: a.shape() });
-        }
-        // Non-finite entries would factor into NaN pivots and surface as a
-        // misleading NotPositiveDefinite; catch the real cause in debug.
-        debug_assert!(
-            a.as_slice().iter().all(|v| v.is_finite()),
-            "Cholesky input contains non-finite entries"
-        );
-        debug_assert!(
-            jitter.is_finite() && jitter >= 0.0,
-            "jitter must be finite and non-negative, got {jitter}"
-        );
+    /// Factor with the unblocked reference loop.
+    ///
+    /// This is the original textbook left-looking implementation. It is
+    /// kept (a) as the oracle for the bitwise-parity tests pinning the
+    /// blocked [`Cholesky::new`] path and (b) as the baseline body of the
+    /// `cholesky_factor_naive` perf scenarios, so the committed BENCH
+    /// trajectory can show the blocked/naive ratio on every machine.
+    pub fn new_reference(a: &Matrix) -> Result<Self, LinalgError> {
+        Self::factor_reference(a, 0.0)
+    }
+
+    fn factor_reference(a: &Matrix, jitter: f64) -> Result<Self, LinalgError> {
+        Self::check_input(a, jitter)?;
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
         for j in 0..n {
@@ -109,6 +108,154 @@ impl Cholesky {
                 s -= crate::ops::dot(li, lj);
                 l[(i, j)] = s / dj;
             }
+        }
+        Ok(Cholesky { l, jitter })
+    }
+
+    fn check_input(a: &Matrix, jitter: f64) -> Result<(), LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        // Non-finite entries would factor into NaN pivots and surface as a
+        // misleading NotPositiveDefinite; catch the real cause in debug.
+        debug_assert!(
+            a.as_slice().iter().all(|v| v.is_finite()),
+            "Cholesky input contains non-finite entries"
+        );
+        debug_assert!(
+            jitter.is_finite() && jitter >= 0.0,
+            "jitter must be finite and non-negative, got {jitter}"
+        );
+        Ok(())
+    }
+
+    /// Cache-tiled, panel-packed left-looking factorization, **bitwise
+    /// identical** to [`Cholesky::new_reference`] (DESIGN §13).
+    ///
+    /// Why tiling is legal here: in the reference loop every element owns
+    /// exactly one accumulator — the diagonal starts at `a(j,j) + jitter`
+    /// and subtracts `L(j,k)²` term by term in ascending `k`; an
+    /// off-diagonal subtracts one sequential ascending-`k` dot product
+    /// (itself a fold from 0.0) from `a(i,j)` in a single operation. The
+    /// blocked code keeps those exact accumulation sequences — panel `acc`
+    /// slots start at 0.0 and receive products in ascending `k` across
+    /// panel boundaries, diagonals subtract term by term — and only
+    /// regroups *which loop iteration* performs each add, never the adds
+    /// themselves. What it buys: the panel of already-final columns is
+    /// packed transposed so the inner kernel is a contiguous vectorizable
+    /// multi-accumulator AXPY instead of a strided latency-bound chain,
+    /// and each `L` row is streamed once per (column-panel, k-panel) pair
+    /// instead of once per column.
+    fn factor(a: &Matrix, jitter: f64) -> Result<Self, LinalgError> {
+        Self::check_input(a, jitter)?;
+        let n = a.rows();
+        // Panel width (columns factored together) and k-panel depth (how
+        // much history is packed per pass). Schedule-only knobs: any values
+        // produce identical bits; these keep the pack (NB·KB doubles) and
+        // one history row segment inside L1/L2.
+        const NB: usize = 64;
+        const KB: usize = 128;
+        // Small matrices fit in cache whole and the session hot path
+        // factors them by the hundreds; the panel buffers would cost more
+        // than the O(n³) work. Same bits either way (the parity tests
+        // cover n ≤ NB), so dispatch on size freely.
+        if n <= NB {
+            return Self::factor_reference(a, jitter);
+        }
+        let mut l = Matrix::zeros(n, n);
+        let nb_cap = NB.min(n.max(1));
+        // acc[(i − jb)·nb + jj] accumulates Σ_k L(i,k)·L(j,k) for column
+        // j = jb + jj, ascending k, starting from 0.0 — the same fold the
+        // reference dot performs.
+        let mut acc = vec![0.0f64; n * nb_cap];
+        // dacc[jj] is the diagonal accumulator: a(j,j) + jitter minus
+        // L(j,k)² term by term, ascending k.
+        let mut dacc = vec![0.0f64; nb_cap];
+        // Transposed pack of the panel rows over one k-panel:
+        // pack[kk·nb + jj] = L(jb + jj, kb + kk).
+        let mut pack = vec![0.0f64; nb_cap * KB];
+        // Fresh in-panel column cache for the right-looking update.
+        let mut colv = vec![0.0f64; nb_cap];
+
+        let mut jb = 0;
+        while jb < n {
+            let je = (jb + NB).min(n);
+            let nb = je - jb;
+            let span = n - jb;
+            acc[..span * nb].fill(0.0);
+            for (jj, d) in dacc[..nb].iter_mut().enumerate() {
+                *d = a[(jb + jj, jb + jj)] + jitter;
+            }
+
+            // Phase A: fold the already-final history columns k < jb into
+            // the panel accumulators, one k-panel at a time.
+            let mut kb = 0;
+            while kb < jb {
+                let ke = (kb + KB).min(jb);
+                let klen = ke - kb;
+                for jj in 0..nb {
+                    let row = &l.as_slice()[(jb + jj) * n + kb..(jb + jj) * n + ke];
+                    for (kk, &v) in row.iter().enumerate() {
+                        pack[kk * nb + jj] = v;
+                    }
+                }
+                for (jj, d) in dacc[..nb].iter_mut().enumerate() {
+                    for kk in 0..klen {
+                        let v = pack[kk * nb + jj];
+                        *d -= v * v;
+                    }
+                }
+                for i in (jb + 1)..n {
+                    // Rows inside the panel only feed columns j < i; the
+                    // unused high slots are never read.
+                    let jjmax = nb.min(i - jb);
+                    let li = &l.as_slice()[i * n + kb..i * n + ke];
+                    let arow = &mut acc[(i - jb) * nb..(i - jb) * nb + jjmax];
+                    for (kk, &lik) in li.iter().enumerate() {
+                        let prow = &pack[kk * nb..kk * nb + jjmax];
+                        for (av, pv) in arow.iter_mut().zip(prow) {
+                            *av += lik * *pv;
+                        }
+                    }
+                }
+                kb = ke;
+            }
+
+            // Phase B: factor the panel columns left to right, folding each
+            // fresh column into the remaining panel accumulators (k = j,
+            // still ascending) before moving on.
+            for jj in 0..nb {
+                let j = jb + jj;
+                let d = dacc[jj];
+                if d <= 0.0 || !d.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: j, value: d });
+                }
+                let dj = d.sqrt();
+                l[(j, j)] = dj;
+                for i in (j + 1)..n {
+                    let s = a[(i, j)] - acc[(i - jb) * nb + jj];
+                    l[(i, j)] = s / dj;
+                }
+                for jj2 in (jj + 1)..nb {
+                    colv[jj2] = l[(jb + jj2, j)];
+                }
+                for (jj2, d) in dacc.iter_mut().enumerate().take(nb).skip(jj + 1) {
+                    let v = colv[jj2];
+                    *d -= v * v;
+                }
+                for i in (j + 1)..n {
+                    let jjmax = nb.min(i - jb);
+                    if jjmax <= jj + 1 {
+                        continue;
+                    }
+                    let lij = l[(i, j)];
+                    let arow = &mut acc[(i - jb) * nb + jj + 1..(i - jb) * nb + jjmax];
+                    for (av, cv) in arow.iter_mut().zip(&colv[jj + 1..jjmax]) {
+                        *av += lij * *cv;
+                    }
+                }
+            }
+            jb = je;
         }
         Ok(Cholesky { l, jitter })
     }
@@ -148,6 +295,14 @@ impl Cholesky {
     }
 
     /// Solve `Lᵀ x = b` (backward substitution).
+    ///
+    /// `Lᵀ`'s rows are `L`'s columns, so the textbook loop walks `L` with
+    /// stride `n` and misses cache on every term. This version processes
+    /// rows in descending blocks and packs the below-block panel of `L`
+    /// transposed via row-contiguous reads, so the long inner products run
+    /// over contiguous memory. Each subtraction `s -= L(k,i)·x[k]` still
+    /// happens in ascending `k` per row `i`, so the result is bitwise
+    /// identical to the reference loop (pinned by a parity test).
     pub fn solve_upper(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.dim();
         if b.len() != n {
@@ -157,13 +312,37 @@ impl Cholesky {
                 rhs: (b.len(), 1),
             });
         }
+        const SB: usize = 64;
+        let ld = self.l.as_slice();
         let mut x = b.to_vec();
-        for i in (0..n).rev() {
-            let mut s = x[i];
-            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
-                s -= self.l[(k, i)] * xk;
+        let mut panel = vec![0.0f64; SB * n.saturating_sub(SB)];
+        let nblocks = n.div_ceil(SB);
+        for blk in (0..nblocks).rev() {
+            let ib = blk * SB;
+            let ie = (ib + SB).min(n);
+            let tail = n - ie;
+            // panel[(i − ib)·tail + (k − ie)] = L(k, i), filled by streaming
+            // the below-block rows of L once, contiguously.
+            for k in ie..n {
+                let lrow = &ld[k * n + ib..k * n + ie];
+                for (ii, &v) in lrow.iter().enumerate() {
+                    panel[ii * tail + (k - ie)] = v;
+                }
             }
-            x[i] = s / self.l[(i, i)];
+            for i in (ib..ie).rev() {
+                let mut s = x[i];
+                // Within-block terms: a short column walk that stays in
+                // cache (at most SB rows tall).
+                for k in (i + 1)..ie {
+                    s -= ld[k * n + i] * x[k];
+                }
+                // Below-block terms from the packed contiguous panel row.
+                let prow = &panel[(i - ib) * tail..(i - ib) * tail + tail];
+                for (pv, xv) in prow.iter().zip(&x[ie..]) {
+                    s -= pv * xv;
+                }
+                x[i] = s / ld[i * n + i];
+            }
         }
         Ok(x)
     }
@@ -252,6 +431,69 @@ impl Cholesky {
         let last = l.row_mut(n);
         last[..n].copy_from_slice(&w);
         last[n] = d2.sqrt();
+        self.l = l;
+        Ok(())
+    }
+
+    /// Remove row and column `index` from the factored matrix in `O(n²)` —
+    /// the inverse of [`Cholesky::extend`], letting active learning evict
+    /// a sample from its kernel matrix without an `O(n³)` refactorization.
+    ///
+    /// Write `L` partitioned around row `index` as
+    /// `[[L₁₁, 0, 0], [lᵀ, d, 0], [L₃₁, c, S]]`. Deleting row/column
+    /// `index` of `A = L Lᵀ` leaves the leading rows `L₁₁`, `L₃₁`
+    /// untouched, while the trailing block becomes
+    /// `L₃₁ L₃₁ᵀ + S Sᵀ + c cᵀ` — so the new trailing factor `L̃` must
+    /// satisfy `L̃ L̃ᵀ = S Sᵀ + c cᵀ`, an *additive* rank-1 update of `S`
+    /// with the deleted subdiagonal column `c` as carrier. That update is
+    /// computed with the standard Givens-style recurrence, which is
+    /// unconditionally stable (every rotation grows the diagonal).
+    /// Removing the last row (`index == n − 1`) is a pure truncation and
+    /// round-trips [`Cholesky::extend`] bitwise. The jitter recorded at
+    /// factorization time is preserved: the result factors the same
+    /// `A + jitter·I` with one row/column deleted.
+    pub fn downdate(&mut self, index: usize) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if index >= n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "downdate",
+                lhs: (n, n),
+                rhs: (index, 1),
+            });
+        }
+        let m = n - index - 1;
+        // Carrier: the deleted column below its pivot.
+        let mut x: Vec<f64> = (0..m).map(|t| self.l[(index + 1 + t, index)]).collect();
+        // Copy L minus row/column `index`.
+        let mut l = Matrix::zeros(n - 1, n - 1);
+        for i in 0..index {
+            l.row_mut(i)[..=i].copy_from_slice(&self.l.row(i)[..=i]);
+        }
+        for i in (index + 1)..n {
+            let src = self.l.row(i);
+            let dst = l.row_mut(i - 1);
+            dst[..index].copy_from_slice(&src[..index]);
+            dst[index..i].copy_from_slice(&src[index + 1..=i]);
+        }
+        // Rank-1 update of the trailing block: L̃ L̃ᵀ = S Sᵀ + x xᵀ.
+        for k in 0..m {
+            let r = index + k;
+            let lkk = l[(r, r)];
+            let xk = x[k];
+            let h = (lkk * lkk + xk * xk).sqrt();
+            if h <= 0.0 || !h.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: r, value: h });
+            }
+            let c = h / lkk;
+            let s = xk / lkk;
+            l[(r, r)] = h;
+            for (off, xi) in x[k + 1..m].iter_mut().enumerate() {
+                let ri = index + k + 1 + off;
+                let v = (l[(ri, r)] + s * *xi) / c;
+                *xi = c * *xi - s * v;
+                l[(ri, r)] = v;
+            }
+        }
         self.l = l;
         Ok(())
     }
@@ -453,5 +695,187 @@ mod tests {
         for (got, want) in ltx.iter().zip(&b) {
             assert!((got - want).abs() < 1e-12);
         }
+    }
+
+    /// Deterministic dense SPD matrix: `B Bᵀ + n·I` for a sin-sequence `B`.
+    fn spd_random(n: usize, seed: u64) -> Matrix {
+        let data: Vec<f64> = (0..n * n)
+            .map(|i| ((i as f64) * 0.37 + seed as f64 * 1.7).sin())
+            .collect();
+        let b = Matrix::from_vec(n, n, data);
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    fn assert_factors_bitwise_equal(blocked: &Cholesky, reference: &Cholesky) {
+        assert_eq!(blocked.dim(), reference.dim());
+        for i in 0..blocked.dim() {
+            for j in 0..blocked.dim() {
+                assert_eq!(
+                    blocked.l()[(i, j)].to_bits(),
+                    reference.l()[(i, j)].to_bits(),
+                    "L({i},{j}) diverges: blocked {} vs reference {}",
+                    blocked.l()[(i, j)],
+                    reference.l()[(i, j)],
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_factor_matches_reference_bitwise() {
+        // Sizes straddle every tiling boundary: sub-panel, exactly one
+        // panel (64), one panel plus a remainder, more than one k-panel
+        // of history (> 128 + 64).
+        for &n in &[1usize, 2, 3, 5, 17, 63, 64, 65, 130, 200] {
+            let a = spd_random(n, n as u64);
+            let blocked = Cholesky::new(&a).unwrap();
+            let reference = Cholesky::new_reference(&a).unwrap();
+            assert_factors_bitwise_equal(&blocked, &reference);
+        }
+    }
+
+    #[test]
+    fn blocked_factor_with_jitter_matches_reference_bitwise() {
+        // Rank-5 Gram matrix: singular, so with_jitter must escalate.
+        let n = 90;
+        let data: Vec<f64> = (0..n * 5)
+            .map(|i| ((i as f64) * 0.43 + 0.2).sin())
+            .collect();
+        let b = Matrix::from_vec(n, 5, data);
+        let a = b.matmul(&b.transpose()).unwrap();
+        let blocked = Cholesky::with_jitter(&a, 1e-10, 1e-2).unwrap();
+        let reference = Cholesky::factor_reference(&a, blocked.jitter()).unwrap();
+        assert!(blocked.jitter() > 0.0);
+        assert_factors_bitwise_equal(&blocked, &reference);
+    }
+
+    #[test]
+    fn blocked_factor_error_matches_reference_bitwise() {
+        // Break definiteness past the first panel so the failure exercises
+        // the phase-A history path before pivoting.
+        let n = 130;
+        let mut a = spd_random(n, 3);
+        a[(97, 97)] = -500.0;
+        let blocked = Cholesky::new(&a);
+        let reference = Cholesky::new_reference(&a);
+        match (blocked, reference) {
+            (
+                Err(LinalgError::NotPositiveDefinite {
+                    pivot: pb,
+                    value: vb,
+                }),
+                Err(LinalgError::NotPositiveDefinite {
+                    pivot: pr,
+                    value: vr,
+                }),
+            ) => {
+                assert_eq!(pb, pr);
+                assert_eq!(vb.to_bits(), vr.to_bits());
+            }
+            other => panic!("expected matching NotPositiveDefinite errors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solve_upper_matches_reference_bitwise() {
+        // The pre-blocking backward substitution, verbatim.
+        fn solve_upper_reference(ch: &Cholesky, b: &[f64]) -> Vec<f64> {
+            let n = ch.dim();
+            let mut x = b.to_vec();
+            for i in (0..n).rev() {
+                let mut s = x[i];
+                for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                    s -= ch.l()[(k, i)] * xk;
+                }
+                x[i] = s / ch.l()[(i, i)];
+            }
+            x
+        }
+        for &n in &[1usize, 5, 63, 64, 65, 130, 200] {
+            let a = spd_random(n, 11 + n as u64);
+            let ch = Cholesky::new(&a).unwrap();
+            let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.9 - 1.0).cos()).collect();
+            let fast = ch.solve_upper(&b).unwrap();
+            let slow = solve_upper_reference(&ch, &b);
+            for (i, (f, s)) in fast.iter().zip(&slow).enumerate() {
+                assert_eq!(f.to_bits(), s.to_bits(), "x[{i}] diverges at n={n}");
+            }
+        }
+    }
+
+    fn delete_row_col(a: &Matrix, index: usize) -> Matrix {
+        let n = a.rows();
+        let mut out = Matrix::zeros(n - 1, n - 1);
+        for i in 0..n - 1 {
+            for j in 0..n - 1 {
+                let si = if i < index { i } else { i + 1 };
+                let sj = if j < index { j } else { j + 1 };
+                out[(i, j)] = a[(si, sj)];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn downdate_last_row_roundtrips_extend_bitwise() {
+        let a = spd_random(12, 5);
+        let before = Cholesky::new(&a).unwrap();
+        let mut ch = before.clone();
+        let b: Vec<f64> = (0..12).map(|i| 0.1 * (i as f64 + 1.0)).collect();
+        ch.extend(&b, 30.0).unwrap();
+        ch.downdate(12).unwrap();
+        assert_factors_bitwise_equal(&ch, &before);
+    }
+
+    #[test]
+    fn downdate_interior_matches_fresh_factorization() {
+        for &(n, index) in &[(6usize, 0usize), (9, 4), (40, 17), (70, 66)] {
+            let a = spd_random(n, n as u64 + index as u64);
+            let mut ch = Cholesky::new(&a).unwrap();
+            ch.downdate(index).unwrap();
+            let fresh = Cholesky::new(&delete_row_col(&a, index)).unwrap();
+            for i in 0..n - 1 {
+                for j in 0..n - 1 {
+                    assert!(
+                        (ch.l()[(i, j)] - fresh.l()[(i, j)]).abs() < 1e-8,
+                        "L({i},{j}) after removing {index} from n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn downdate_preserves_jitter() {
+        // Semidefinite: ones * onesᵀ needs jitter to factor.
+        let a = Matrix::from_vec(3, 3, vec![1.0; 9]);
+        let mut ch = Cholesky::with_jitter(&a, 1e-10, 1e-2).unwrap();
+        let jitter = ch.jitter();
+        assert!(jitter > 0.0);
+        ch.downdate(1).unwrap();
+        assert_eq!(ch.jitter(), jitter);
+        // The result factors the 2x2 submatrix of A + jitter·I.
+        let r = ch.reconstruct().unwrap();
+        assert!((r[(0, 0)] - (1.0 + jitter)).abs() < 1e-9);
+        assert!((r[(0, 1)] - 1.0).abs() < 1e-9);
+        assert!((r[(1, 1)] - (1.0 + jitter)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downdate_handles_edges() {
+        // Shrinking to the empty factor is allowed.
+        let mut ch = Cholesky::new(&Matrix::from_vec(1, 1, vec![4.0])).unwrap();
+        ch.downdate(0).unwrap();
+        assert_eq!(ch.dim(), 0);
+        // Out-of-range index is a shape error.
+        let mut ch = Cholesky::new(&spd3()).unwrap();
+        assert!(matches!(
+            ch.downdate(3),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 }

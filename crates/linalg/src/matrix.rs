@@ -130,6 +130,13 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutably borrow the underlying row-major storage (e.g. to split it
+    /// into disjoint row bands for parallel fills).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Consume the matrix, returning the row-major storage.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
@@ -220,6 +227,21 @@ impl Matrix {
             rows: indices.len(),
             cols: self.cols,
             data,
+        }
+    }
+
+    /// Select a subset of rows into `out`, reusing its allocation.
+    ///
+    /// `out` is resized/reshaped to `indices.len() × self.cols`; existing
+    /// contents are overwritten. Lets batch-prediction loops reuse one
+    /// scratch matrix across calls instead of allocating per bucket.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.rows = indices.len();
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.reserve(indices.len() * self.cols);
+        for &i in indices {
+            out.data.extend_from_slice(self.row(i));
         }
     }
 

@@ -147,4 +147,48 @@ proptest! {
         let h = stats::histogram(&v, -10.0, 10.0, bins);
         prop_assert_eq!(h.iter().sum::<usize>(), v.len());
     }
+
+    #[test]
+    fn extend_then_downdate_roundtrips_bitwise(a in spd_matrix(), border in vector(8)) {
+        let n = a.rows();
+        let before = Cholesky::new(&a).unwrap();
+        let mut ch = before.clone();
+        // A strongly dominant corner keeps the bordered matrix SPD.
+        let c = 10.0 * (n as f64 + 1.0) + border[..n].iter().map(|b| b * b).sum::<f64>();
+        ch.extend(&border[..n], c).unwrap();
+        ch.downdate(n).unwrap();
+        prop_assert_eq!(ch.dim(), before.dim());
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(ch.l()[(i, j)].to_bits(), before.l()[(i, j)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn downdate_matches_fresh_factorization_of_submatrix(a in spd_matrix(), pick in 0usize..8) {
+        let n = a.rows();
+        prop_assume!(n >= 2);
+        let index = pick % n;
+        let mut ch = Cholesky::new(&a).unwrap();
+        ch.downdate(index).unwrap();
+        // Fresh factorization of A with row/column `index` deleted.
+        let mut sub = Matrix::zeros(n - 1, n - 1);
+        for i in 0..n - 1 {
+            for j in 0..n - 1 {
+                let si = if i < index { i } else { i + 1 };
+                let sj = if j < index { j } else { j + 1 };
+                sub[(i, j)] = a[(si, sj)];
+            }
+        }
+        let fresh = Cholesky::new(&sub).unwrap();
+        for i in 0..n - 1 {
+            for j in 0..n - 1 {
+                prop_assert!(
+                    (ch.l()[(i, j)] - fresh.l()[(i, j)]).abs() < 1e-8,
+                    "L({},{}) diverges after removing {}", i, j, index
+                );
+            }
+        }
+    }
 }
