@@ -56,6 +56,22 @@ pub struct Config {
     /// presence near a hash-container iteration marks the path as
     /// order-stable and suppresses the finding.
     pub ordered_containers: Vec<String>,
+    /// L7 (lock discipline): lock receiver identifier → lock class,
+    /// written `"warm:warm"`. Every `.lock()` receiver in scanned code
+    /// must map to a class here.
+    pub lock_classes: Vec<(String, String)>,
+    /// L7: total acquisition order over lock classes, lowest first —
+    /// acquiring a lower class while a higher one is held is an
+    /// inversion. An empty list leaves every class unordered, which is
+    /// itself a violation at each acquisition site (the probe: deleting
+    /// the order table must surface raw findings, not silence).
+    pub lock_order: Vec<String>,
+    /// L7: identifiers whose calls are expensive by fiat (`fit`, `solve`,
+    /// file I/O, `sleep`, …). The call-graph layer propagates these:
+    /// any function whose call closure reaches one is expensive, and
+    /// calling it under a live lock guard is a violation. Emptying both
+    /// this and `lock_classes`/`lock_order` disables L7.
+    pub expensive_idents: Vec<String>,
     pub allowances: Vec<Allowance>,
 }
 
@@ -69,6 +85,7 @@ impl Default for Config {
                 "crates/dataset",
                 "crates/core",
                 "crates/parallel",
+                "crates/alint",
             ]
             .map(String::from)
             .to_vec(),
@@ -78,6 +95,7 @@ impl Default for Config {
                 "crates/amr",
                 "crates/dataset",
                 "crates/core",
+                "crates/alint",
             ]
             .map(String::from)
             .to_vec(),
@@ -85,6 +103,7 @@ impl Default for Config {
                 "crates/linalg/src/cholesky.rs",
                 "crates/gp/src/gp.rs",
                 "crates/amr/src/tree.rs",
+                "crates/bench/src/perf.rs",
             ]
             .map(String::from)
             .to_vec(),
@@ -163,6 +182,45 @@ impl Default for Config {
                 "sort_unstable_by",
                 "sort_unstable_by_key",
                 "sorted",
+            ]
+            .map(String::from)
+            .to_vec(),
+            // The store's documented contract (core/store.rs): the warm
+            // cache is below the shards, batch-result slots never nest
+            // with either.
+            lock_classes: [
+                ("warm", "warm"),
+                ("shard", "shard"),
+                ("results", "batch_results"),
+            ]
+            .map(|(r, c)| (r.to_string(), c.to_string()))
+            .to_vec(),
+            lock_order: ["warm", "shard", "batch_results"]
+                .map(String::from)
+                .to_vec(),
+            // The paper's hot verbs plus file I/O and sleeping: anything
+            // here is multi-millisecond work that must never run under a
+            // shard lock (tail-latency contract, DESIGN §14).
+            expensive_idents: [
+                "fit",
+                "fit_optimized",
+                "initial_fit",
+                "refit",
+                "factor",
+                "optimize",
+                "step",
+                "solve",
+                "solve_upper",
+                "solve_lower",
+                "run_trajectory",
+                "sleep",
+                "read_to_string",
+                "write_all",
+                "flush",
+                "open",
+                "create_dir_all",
+                "read_dir",
+                "remove_file",
             ]
             .map(String::from)
             .to_vec(),
@@ -322,6 +380,8 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
     take_list("spawn_approved", &mut config.spawn_approved)?;
     take_list("wall_clock_approved", &mut config.wall_clock_approved)?;
     take_list("ordered_containers", &mut config.ordered_containers)?;
+    take_list("lock_order", &mut config.lock_order)?;
+    take_list("expensive_idents", &mut config.expensive_idents)?;
     let mut take_pair_list =
         |name: &str, target: &mut Vec<(String, String)>| -> Result<(), ConfigError> {
             if let Some((value, line)) = scalar_keys.remove(name) {
@@ -349,6 +409,7 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
         };
     take_pair_list("unit_suffixes", &mut config.unit_suffixes)?;
     take_pair_list("unit_types", &mut config.unit_types)?;
+    take_pair_list("lock_classes", &mut config.lock_classes)?;
     if let Some((key, (_, line))) = scalar_keys.into_iter().next() {
         return Err(ConfigError {
             line,
@@ -403,13 +464,54 @@ fn strip_comment(line: &str) -> &str {
     line
 }
 
+/// Why `alint.toml` could not be loaded.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file exists but could not be read.
+    Io {
+        /// Path that failed.
+        path: String,
+        /// Underlying I/O error.
+        error: std::io::Error,
+    },
+    /// The file was read but did not parse.
+    Parse(ConfigError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io { path, error } => write!(f, "reading {path}: {error}"),
+            LoadError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io { error, .. } => Some(error),
+            LoadError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for LoadError {
+    fn from(e: ConfigError) -> Self {
+        LoadError::Parse(e)
+    }
+}
+
 /// Load `alint.toml` from `root`, or defaults when the file is absent.
-pub fn load(root: &Path) -> Result<Config, Box<dyn std::error::Error>> {
+pub fn load(root: &Path) -> Result<Config, LoadError> {
     let path = root.join("alint.toml");
     match std::fs::read_to_string(&path) {
         Ok(text) => Ok(parse(&text)?),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
-        Err(e) => Err(format!("reading {}: {e}", path.display()).into()),
+        Err(e) => Err(LoadError::Io {
+            path: path.display().to_string(),
+            error: e,
+        }),
     }
 }
 
@@ -462,9 +564,54 @@ count = 1
     #[test]
     fn defaults_cover_the_lib_crates() {
         let cfg = Config::default();
-        assert_eq!(cfg.lib_crates.len(), 6);
+        assert_eq!(cfg.lib_crates.len(), 7);
         assert!(cfg.lib_crates.contains(&"crates/parallel".to_string()));
+        // alint lints itself: panic-freedom and typed errors apply to the
+        // linter's own library sources.
+        assert!(cfg.lib_crates.contains(&"crates/alint".to_string()));
+        assert!(cfg.typed_error_crates.contains(&"crates/alint".to_string()));
         assert!(cfg.typed_error_crates.contains(&"crates/gp".to_string()));
+        assert!(cfg
+            .hot_paths
+            .contains(&"crates/bench/src/perf.rs".to_string()));
+    }
+
+    #[test]
+    fn lock_tables_parse_and_have_defaults() {
+        let cfg = parse(
+            "[locks]\nlock_classes = [\"cache:cache\", \"slab:slab\"]\n\
+             lock_order = [\"cache\", \"slab\"]\nexpensive_idents = [\"churn\"]\n",
+        )
+        .expect("parse");
+        assert_eq!(
+            cfg.lock_classes,
+            vec![
+                ("cache".to_string(), "cache".to_string()),
+                ("slab".to_string(), "slab".to_string())
+            ]
+        );
+        assert_eq!(cfg.lock_order, vec!["cache", "slab"]);
+        assert_eq!(cfg.expensive_idents, vec!["churn"]);
+        // Defaults encode the store's documented contract: warm below
+        // shard, and the paper's hot verbs in the expensive set.
+        let d = Config::default();
+        assert_eq!(d.lock_order, vec!["warm", "shard", "batch_results"]);
+        assert!(d
+            .lock_classes
+            .iter()
+            .any(|(r, c)| r == "shard" && c == "shard"));
+        for ident in ["fit", "step", "solve", "sleep", "read_to_string"] {
+            assert!(d.expensive_idents.contains(&ident.to_string()), "{ident}");
+        }
+    }
+
+    #[test]
+    fn emptied_lock_order_parses_to_empty() {
+        // The probe from the acceptance criteria: an explicitly emptied
+        // order table must override the default, not fall back to it.
+        let cfg = parse("[locks]\nlock_order = []\n").expect("parse");
+        assert!(cfg.lock_order.is_empty());
+        assert!(!cfg.lock_classes.is_empty(), "classes keep their default");
     }
 
     #[test]

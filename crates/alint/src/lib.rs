@@ -1,10 +1,13 @@
 //! alint — workspace static analysis for numerical-robustness invariants.
 //!
-//! The six lints (L1 panic_site, L2 float_cmp, L3 typed_error, L4
-//! lossy_cast, L5 unit_safety, L6 determinism_safety) encode repo-specific
-//! rules that clippy cannot express because they depend on which crate,
-//! module, or file the code lives in — or, for L5/L6, on the repo's own
-//! unit vocabulary and reproducibility contract.
+//! The seven lints (L1 panic_site, L2 float_cmp, L3 typed_error, L4
+//! lossy_cast, L5 unit_safety, L6 determinism_safety, L7 lock_discipline)
+//! encode repo-specific rules that clippy cannot express because they
+//! depend on which crate, module, or file the code lives in — or, for
+//! L5/L6/L7, on the repo's own unit vocabulary, reproducibility contract,
+//! and locking contract. L7 is the first *cross-file* pass: it runs on a
+//! workspace call graph (`callgraph`) built from every scanned file
+//! before any file is linted.
 //! See `lints` for the rules, `config` for `alint.toml`, and `DESIGN.md`
 //! ("Static analysis & invariants") for the policy.
 //!
@@ -14,6 +17,7 @@
 // while the regular compile still lints library code.
 #![cfg_attr(test, allow(clippy::float_cmp))]
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
 pub mod lints;
@@ -75,32 +79,51 @@ pub fn check_workspace_lint(
 }
 
 /// All diagnostics before allowlist filtering, plus the file count.
+///
+/// This is a two-phase run: every file is lexed first so the workspace
+/// [`callgraph::CallGraph`] (L7's cross-file context) can be built over
+/// all of them, then each file is linted with the shared graph.
 pub fn raw_diagnostics(root: &Path, config: &Config) -> std::io::Result<(Vec<Diagnostic>, usize)> {
     let files = workspace::scan(root, config)?;
     let units = lints::UnitTables::from_config(config);
     let det = lints::DeterminismTables::from_config(config);
+    let locks = lints::LockTables::from_config(config);
     let n = files.len();
-    let mut all = Vec::new();
+    let mut lexed_files = Vec::with_capacity(n);
     for file in &files {
         let src = std::fs::read_to_string(&file.abs_path)?;
-        let lexed = lexer::lex(&src);
+        lexed_files.push(lexer::lex(&src));
+    }
+    let graph_input: Vec<(String, &lexer::Lexed)> = files
+        .iter()
+        .zip(&lexed_files)
+        .map(|(file, lexed)| (file.rel_path.clone(), lexed))
+        .collect();
+    let graph = callgraph::CallGraph::build(&graph_input, &locks.expensive);
+    let mut all = Vec::new();
+    for (file, lexed) in files.iter().zip(&lexed_files) {
         all.extend(lints::lint_file(
             &file.rel_path,
-            &lexed,
+            lexed,
             file.scope,
             &units,
             &det,
+            &locks,
+            &graph,
         ));
     }
     all.sort();
     Ok((all, n))
 }
 
+/// Every lint ID, in order.
+pub const LINT_IDS: [&str; 7] = ["L1", "L2", "L3", "L4", "L5", "L6", "L7"];
+
 /// Normalize a user-supplied lint selector (`L6`, `l6`, or
 /// `determinism_safety`) to its canonical ID, or `None` when unknown.
 pub fn normalize_lint_id(arg: &str) -> Option<&'static str> {
-    const IDS: [&str; 6] = ["L1", "L2", "L3", "L4", "L5", "L6"];
-    IDS.into_iter()
+    LINT_IDS
+        .into_iter()
         .find(|id| id.eq_ignore_ascii_case(arg) || lints::lint_name(id).eq_ignore_ascii_case(arg))
 }
 
@@ -387,6 +410,8 @@ mod tests {
         assert_eq!(normalize_lint_id("l2"), Some("L2"));
         assert_eq!(normalize_lint_id("determinism_safety"), Some("L6"));
         assert_eq!(normalize_lint_id("unit_safety"), Some("L5"));
+        assert_eq!(normalize_lint_id("L7"), Some("L7"));
+        assert_eq!(normalize_lint_id("lock_discipline"), Some("L7"));
         assert_eq!(normalize_lint_id("wibble"), None);
     }
 

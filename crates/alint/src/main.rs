@@ -1,4 +1,4 @@
-//! CLI entry point: `cargo run -p alint -- <check|dump|ratchet>`.
+//! CLI entry point: `cargo run -p alint -- <check|dump|ratchet|lints>`.
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage/config/IO error.
 
@@ -23,10 +23,11 @@ fn main() -> ExitCode {
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "check" | "dump" | "ratchet" => {
+            "check" | "dump" | "ratchet" | "lints" => {
                 command = match arg.as_str() {
                     "dump" => "dump",
                     "ratchet" => "ratchet",
+                    "lints" => "lints",
                     _ => "check",
                 }
             }
@@ -41,8 +42,8 @@ fn main() -> ExitCode {
                 Some(Some(id)) => lint = Some(id),
                 Some(None) => {
                     eprintln!(
-                        "alint: --lint requires a lint ID (L1..L6) or name \
-                         (panic_site, …, determinism_safety)"
+                        "alint: --lint requires a lint ID (L1..L7) or name \
+                         (panic_site, …, lock_discipline)"
                     );
                     return ExitCode::from(2);
                 }
@@ -92,22 +93,25 @@ fn main() -> ExitCode {
     match command {
         "dump" => dump(&root, &config, lint),
         "ratchet" => ratchet(&root, &config),
+        "lints" => lints(&config),
         _ => check(&root, &config, format, lint),
     }
 }
 
 const USAGE: &str = "\
-usage: cargo run -p alint -- [check|dump|ratchet] [--root <dir>] [--format <fmt>]
-                             [--lint <ID>]
+usage: cargo run -p alint -- [check|dump|ratchet|lints] [--root <dir>]
+                             [--format <fmt>] [--lint <ID>]
 
   check     lint the workspace, applying the alint.toml allowlist (default)
   dump      print every raw diagnostic, ignoring the allowlist
   ratchet   print [[allow]] entries matching the current violation counts
+  lints     list every lint with its name, description, and whether the
+            loaded alint.toml enables it
 
   --format  check output style: text (default), json (one machine-readable
             object), or github (::error workflow-command annotations)
-  --lint    restrict check/dump to one lint, by ID (L1..L6) or name
-            (panic_site, …, determinism_safety) — fast single-pass
+  --lint    restrict check/dump to one lint, by ID (L1..L7) or name
+            (panic_site, …, lock_discipline) — fast single-pass
             iteration while developing a lint
 ";
 
@@ -215,6 +219,34 @@ fn dump(
             ExitCode::from(2)
         }
     }
+}
+
+/// List every lint with its name, one-line description, and whether the
+/// loaded configuration enables it (a lint is "off" when the tables that
+/// scope it are empty, mirroring how the passes themselves gate).
+fn lints(config: &alint::config::Config) -> ExitCode {
+    for id in alint::LINT_IDS {
+        let enabled = match id {
+            "L1" => !config.lib_crates.is_empty(),
+            "L2" => true,
+            "L3" => !config.typed_error_crates.is_empty(),
+            "L4" => !config.hot_paths.is_empty(),
+            "L5" => {
+                !(config.unit_suffixes.is_empty()
+                    && config.unit_types.is_empty()
+                    && config.unit_conversions.is_empty())
+            }
+            "L6" => !config.determinism_crates.is_empty(),
+            _ => !(config.lock_classes.is_empty() && config.lock_order.is_empty()),
+        };
+        println!(
+            "{id}  {:<19} {:<8} {}",
+            alint::lints::lint_name(id),
+            if enabled { "on" } else { "off" },
+            alint::lints::lint_description(id),
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 /// Emit `[[allow]]` entries for the current state, for seeding or

@@ -83,6 +83,9 @@ fn rel_string(path: &Path, root: &Path) -> String {
 ///   `spawn_approved` exempts the audited pool modules from the fan-out
 ///   rule and `wall_clock_approved` (file or path prefix) exempts
 ///   diagnostics-only timing from the wall-clock rule.
+/// - L7 runs on everything scanned, like L5: the pass only fires near
+///   `.lock()` sites, and a lock in a bin deadlocks just as hard as one
+///   in a lib (disabling it means emptying the `[locks]` tables).
 pub fn scope_for(rel_path: &str, config: &Config) -> FileScope {
     let in_crate_src = |crate_root: &str| {
         rel_path.starts_with(&format!("{crate_root}/src/"))
@@ -103,6 +106,7 @@ pub fn scope_for(rel_path: &str, config: &Config) -> FileScope {
             .any(|c| rel_path.starts_with(&format!("{c}/src/"))),
         spawn_blessed: config.spawn_approved.iter().any(|p| prefix_match(p)),
         wall_clock_approved: config.wall_clock_approved.iter().any(|p| prefix_match(p)),
+        lock_discipline: true,
     }
 }
 
@@ -120,9 +124,15 @@ mod tests {
         let s = scope_for("crates/core/src/procedure.rs", &config);
         assert!(s.lib_crate && !s.hot_path && s.unit_safety && s.determinism);
 
+        // The linter lints itself: L1 and L3 cover its own src/ files.
         let s = scope_for("crates/alint/src/lints.rs", &config);
-        assert!(!s.lib_crate && !s.typed_error && !s.hot_path && s.float_cmp);
+        assert!(s.lib_crate && s.typed_error && !s.hot_path && s.float_cmp);
         assert!(!s.determinism, "the lint runner is not determinism-scoped");
+        assert!(s.lock_discipline, "L7 covers everything scanned");
+
+        // The bench scenario registry is a listed hot path for L4.
+        let s = scope_for("crates/bench/src/perf.rs", &config);
+        assert!(s.hot_path && s.lock_discipline);
 
         // Binaries are exempt from the library-only passes but NOT from L6:
         // hash-order output from a bin corrupts regenerated datasets too.

@@ -6,9 +6,10 @@
 // carve-outs from clippy.toml don't reach them.
 #![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
 
+use alint::callgraph::CallGraph;
 use alint::config::{Allowance, Config};
 use alint::lexer::lex;
-use alint::lints::{lint_file, DeterminismTables, Diagnostic, FileScope, UnitTables};
+use alint::lints::{lint_file, DeterminismTables, Diagnostic, FileScope, LockTables, UnitTables};
 use std::path::{Path, PathBuf};
 
 fn lint_fixture(name: &str, scope: FileScope) -> Vec<Diagnostic> {
@@ -17,12 +18,20 @@ fn lint_fixture(name: &str, scope: FileScope) -> Vec<Diagnostic> {
         .join(name);
     let src = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let lexed = lex(&src);
+    let locks = LockTables::from_config(&Config::default());
+    // Fixtures are single files, so the call graph sees exactly one file —
+    // cross-file resolution is covered by the callgraph unit tests and the
+    // workspace probe below.
+    let graph = CallGraph::build(&[(name.to_string(), &lexed)], &locks.expensive);
     lint_file(
         name,
-        &lex(&src),
+        &lexed,
         scope,
         &UnitTables::from_config(&Config::default()),
         &DeterminismTables::from_config(&Config::default()),
+        &locks,
+        &graph,
     )
 }
 
@@ -36,6 +45,7 @@ fn all_scopes() -> FileScope {
         determinism: true,
         spawn_blessed: false,
         wall_clock_approved: false,
+        lock_discipline: true,
     }
 }
 
@@ -200,6 +210,82 @@ fn l6_blessed_scopes_drop_the_spawn_and_wall_clock_rules() {
 fn l6_clean_fixture_is_silent_under_every_lint() {
     let diags = lint_fixture("l6_clean.rs", all_scopes());
     assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn l7_flags_each_locking_rule() {
+    let diags = lint_fixture("l7_violations.rs", only(|s| s.lock_discipline = true));
+    assert!(diags.iter().all(|d| d.lint == "L7"), "{diags:#?}");
+    // Direct expensive call under a guard, a lock-order inversion, a
+    // double-acquire, a guard held across `.await`, a call reaching an
+    // expensive ident through the call graph, an inversion one call deep,
+    // and an undeclared receiver class.
+    assert_eq!(
+        diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+        vec![11, 16, 22, 28, 34, 39, 47],
+        "{diags:#?}"
+    );
+    let expect = |line: u32, needle: &str| {
+        let d = diags
+            .iter()
+            .find(|d| d.line == line)
+            .unwrap_or_else(|| panic!("no diagnostic at line {line}"));
+        assert!(d.message.contains(needle), "{line}: {}", d.message);
+    };
+    expect(11, "expensive call `fit`");
+    expect(16, "lock-order inversion");
+    expect(22, "double-acquire");
+    expect(28, "held across `.await`");
+    expect(34, "reaches expensive `solve` through the call graph");
+    expect(39, "lock-order inversion via `warm_taker`");
+    expect(47, "no declared lock class");
+}
+
+#[test]
+fn l7_clean_fixture_is_silent_under_every_lint() {
+    let diags = lint_fixture("l7_clean.rs", all_scopes());
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+/// The ratchet probe: the defaults keep the real workspace clean, and
+/// explicitly emptying `lock_order` must *surface* raw L7 findings at every
+/// declared acquisition in `crates/core/src/store.rs` — deleting the order
+/// table can never silence the lint.
+#[test]
+fn l7_emptied_order_probes_the_real_workspace() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_default();
+    if !root.join("Cargo.toml").is_file() {
+        return;
+    }
+    let mut config = Config::default();
+    config.lock_order.clear();
+    let (diags, _) = alint::raw_diagnostics(&root, &config).expect("scan workspace");
+    let store_findings: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.lint == "L7" && d.path == "crates/core/src/store.rs")
+        .collect();
+    assert!(
+        store_findings.len() >= 5,
+        "emptying lock_order should surface every store acquisition: {store_findings:#?}"
+    );
+    for class in ["warm", "shard"] {
+        assert!(
+            store_findings
+                .iter()
+                .any(|d| d.message.contains(&format!("`{class}`"))),
+            "no {class} finding: {store_findings:#?}"
+        );
+    }
+    assert!(
+        store_findings
+            .iter()
+            .all(|d| d.message.contains("missing from [locks] lock_order")),
+        "{store_findings:#?}"
+    );
 }
 
 #[test]
@@ -421,6 +507,14 @@ fn cli_ratchet_output_round_trips_through_the_allowlist() {
         "pub fn c() {\n    std::thread::spawn(|| 1);\n}\n",
     )
     .expect("write fixture source");
+    // Two L7 findings: an undeclared receiver class and an expensive call
+    // under the guard (the default [locks] tables apply to the scratch
+    // workspace too).
+    std::fs::write(
+        src_dir.join("locked.rs"),
+        "pub fn hold(m: &Mutex<u32>) -> u32 {\n    let g = m.lock();\n    fit(*g)\n}\n",
+    )
+    .expect("write fixture source");
     let scope = "lib_crates = [\"crates/demo\"]\nscan_roots = [\"crates\"]\n\
                  [determinism]\ndeterminism_crates = [\"crates/demo\"]\n";
     std::fs::write(root.join("alint.toml"), scope).expect("write config");
@@ -449,7 +543,12 @@ fn cli_ratchet_output_round_trips_through_the_allowlist() {
         1,
         "{printed}"
     );
-    assert_eq!(parsed.allowances.len(), 2, "{printed}");
+    assert_eq!(
+        entry("crates/demo/src/locked.rs", "L7").count,
+        2,
+        "{printed}"
+    );
+    assert_eq!(parsed.allowances.len(), 3, "{printed}");
 
     // Adopting the printed allowlist makes the check clean — and since the
     // counts are exact, no slack notes and no stale-entry errors appear.
@@ -463,7 +562,59 @@ fn cli_ratchet_output_round_trips_through_the_allowlist() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(!stdout.contains("stale"), "{stdout}");
     assert!(!stdout.contains("tighten"), "{stdout}");
-    assert!(stdout.contains("3 grandfathered sites"), "{stdout}");
+    assert!(stdout.contains("5 grandfathered sites"), "{stdout}");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// `lints` lists every pass with its name, description, and enabled-status
+/// derived from the loaded configuration.
+#[test]
+fn cli_lints_subcommand_lists_passes_with_enabled_status() {
+    let root = scratch_workspace("lints_list");
+    std::fs::create_dir_all(root.join("crates")).expect("mkdir");
+    // hot_paths emptied → L4 off; everything else inherits the defaults.
+    std::fs::write(
+        root.join("alint.toml"),
+        "scan_roots = [\"crates\"]\nhot_paths = []\n",
+    )
+    .expect("write config");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_alint"))
+        .args(["lints", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run alint lints");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 7, "{stdout}");
+    for (i, id) in ["L1", "L2", "L3", "L4", "L5", "L6", "L7"]
+        .iter()
+        .enumerate()
+    {
+        assert!(lines[i].starts_with(id), "{stdout}");
+    }
+    let row = |id: &str| {
+        lines
+            .iter()
+            .find(|l| l.starts_with(id))
+            .unwrap_or_else(|| panic!("no {id} row\n{stdout}"))
+            .to_string()
+    };
+    assert!(
+        row("L4").contains("lossy_cast") && row("L4").contains("off"),
+        "{stdout}"
+    );
+    assert!(
+        row("L1").contains("panic_site") && row("L1").contains("on"),
+        "{stdout}"
+    );
+    assert!(
+        row("L7").contains("lock_discipline") && row("L7").contains("on"),
+        "{stdout}"
+    );
+    assert!(row("L7").contains("under lock guards"), "{stdout}");
 
     std::fs::remove_dir_all(&root).ok();
 }

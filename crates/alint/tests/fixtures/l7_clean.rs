@@ -1,0 +1,42 @@
+//! L7 fixture: disciplined locking — silent under every lint.
+
+pub struct Store {
+    warm: Mutex<u32>,
+    shard: Mutex<u32>,
+}
+
+impl Store {
+    pub fn ascending_order(&self) -> u32 {
+        let w = self.warm.lock();
+        let s = self.shard.lock();
+        *w + *s
+    }
+
+    pub fn drop_ends_the_window(&self) -> u32 {
+        let g = self.shard.lock();
+        let v = *g;
+        drop(g);
+        fit(v)
+    }
+
+    pub fn temp_guard_window_ends_at_the_statement(&self) -> u32 {
+        let v = *self.shard.lock();
+        fit(v)
+    }
+
+    pub fn cheap_call_under_guard(&self) -> u32 {
+        let g = self.warm.lock();
+        double(*g)
+    }
+
+    pub fn marked(&self) -> u32 {
+        let g = self.shard.lock();
+        // Fixture: an intentionally marked expensive call.
+        // alint: allow(L7)
+        fit(*g)
+    }
+}
+
+fn double(x: u32) -> u32 {
+    x + x
+}

@@ -1,0 +1,57 @@
+//! L7 fixture: each locking rule fires at a pinned line.
+
+pub struct Store {
+    warm: Mutex<u32>,
+    shard: Mutex<u32>,
+}
+
+impl Store {
+    pub fn expensive_under_guard(&self) -> u32 {
+        let g = self.shard.lock();
+        fit(*g)
+    }
+
+    pub fn inversion(&self) -> u32 {
+        let s = self.shard.lock();
+        let w = self.warm.lock();
+        *s + *w
+    }
+
+    pub fn double_acquire(&self) -> u32 {
+        let a = self.shard.lock();
+        let b = self.shard.lock();
+        *a + *b
+    }
+
+    pub async fn held_across_await(&self) {
+        let g = self.warm.lock();
+        pause().await;
+        drop(g);
+    }
+
+    pub fn through_the_graph(&self) -> u32 {
+        let g = self.warm.lock();
+        helper(*g)
+    }
+
+    pub fn inversion_via_call(&self) -> u32 {
+        let g = self.shard.lock();
+        self.warm_taker() + *g
+    }
+
+    fn warm_taker(&self) -> u32 {
+        *self.warm.lock()
+    }
+
+    pub fn undeclared(&self, extra: &Mutex<u32>) -> u32 {
+        *extra.lock()
+    }
+}
+
+fn helper(x: u32) -> u32 {
+    deeper(x)
+}
+
+fn deeper(x: u32) -> u32 {
+    solve(x)
+}

@@ -813,6 +813,80 @@ fn al_scenarios(tier: Tier) -> Vec<Scenario> {
             };
         })
     }));
+    // Store contention: several workers hammer a small SessionStore with a
+    // create → observe-to-stop → finish mix over distinct ids sharing one
+    // warm key. Sessions land on all shards and every call crosses the
+    // shard and warm locks, so this prices the locking discipline itself —
+    // the L7 contract that GP steps run outside the guards is what keeps
+    // this scenario scaling instead of serializing on a shard.
+    out.push(Scenario::new(
+        "al",
+        "store_contention".to_string(),
+        move || {
+            use al_core::{SessionStore, WarmKey};
+            use al_parallel::WorkerPool;
+            let dataset = synthetic_dataset(120);
+            let mut rng = StdRng::seed_from_u64(37);
+            let partition = Partition::random(dataset.len(), 10, 40, &mut rng);
+            let opts = AlOptions {
+                max_iterations: Some(2),
+                initial_fit: FitOptions {
+                    n_restarts: 0,
+                    max_iters: 10,
+                    ..FitOptions::default()
+                },
+                refit: FitOptions {
+                    n_restarts: 0,
+                    max_iters: 5,
+                    ..FitOptions::default()
+                },
+                mem_limit_log: Some(dataset.memory_limit_log(0.95)),
+                ..AlOptions::default()
+            };
+            let config = SessionConfig::from_partition(
+                &dataset,
+                &partition,
+                StrategyKind::Rgma { base: 10.0 },
+                &opts,
+            );
+            let pool = WorkerPool::new(4);
+            let store = SessionStore::new(4);
+            Box::new(move || {
+                let jobs: Vec<_> = (0..pool.n_workers() as u64)
+                    .map(|worker| {
+                        let store = &store;
+                        let dataset = &dataset;
+                        let config = config.clone();
+                        move || {
+                            // Each worker owns its ids (the per-session caller
+                            // contract); ids differ mod n_shards so the workers
+                            // spread over every shard. Four sessions per worker
+                            // keep one timed call long enough that scheduler
+                            // noise on oversubscribed runners averages out.
+                            for k in 0..4u64 {
+                                let id = worker + 4 * k;
+                                let mut decision = store
+                                    .create(
+                                        id,
+                                        config.clone(),
+                                        Some(WarmKey::new("bench-grid", "RBF")),
+                                    )
+                                    .expect("session creates");
+                                while let Some(q) = decision.query() {
+                                    let obs = Observation::from_dataset(dataset, q.dataset_index);
+                                    decision = store.observe(id, &obs).expect("session observes");
+                                }
+                                let t = store.finish(id).expect("session finishes");
+                                std::hint::black_box(t.records.len());
+                            }
+                        }
+                    })
+                    .collect();
+                pool.run(jobs);
+                std::hint::black_box(store.len());
+            })
+        },
+    ));
     // Warm-start contrast: opening a session with cached hyperparameters
     // from the LRU (short refit polish) vs. a cold open (full restarted
     // optimization) — the quantity the SessionStore's warm cache saves.
@@ -898,7 +972,8 @@ fn measure(scenario: Scenario, tier: Tier) -> ScenarioResult {
     let started = Instant::now();
     body();
     let once = started.elapsed().as_secs_f64().max(1e-9);
-    let inner = ((tier.min_sample_s() / once).ceil().clamp(1.0, 1024.0)) as usize;
+    // Ceiled and clamped to [1, 1024] first, so the cast is exact.
+    let inner = ((tier.min_sample_s() / once).ceil().clamp(1.0, 1024.0)) as usize; // alint: allow(L4)
     let mut samples = Vec::with_capacity(repeats);
     for _ in 0..repeats {
         let started = Instant::now();
@@ -1399,6 +1474,9 @@ mod tests {
         assert!(names.contains(&"gp/kernel_matrix_threads_all".to_string()));
         assert!(names.contains(&"gp/local_select_threads_1".to_string()));
         assert!(names.contains(&"gp/local_select_threads_all".to_string()));
+        // PR 10: workers hammering the sharded SessionStore — the priced
+        // counterpart of the alint L7 locking contract.
+        assert!(names.contains(&"al/store_contention".to_string()));
         // Unknown group is a typed error.
         assert!(matches!(
             registry(Tier::Quick, &["nope".to_string()]),

@@ -5,12 +5,15 @@
 //! caller-chosen `u64` id, a session's shard is `id % n_shards`, and each
 //! shard is an independent [`parking_lot::Mutex`] over an ordered map —
 //! no cross-shard locks are ever held, so operations on sessions in
-//! different shards never contend. Within a shard, the GP work of a
-//! [`SessionStore::observe`] call runs under the shard lock: per-session
-//! ordering is what makes [`crate::session::step`] deterministic, and
-//! the concurrency suite (`tests/session_concurrency.rs`) checks that
-//! hammering distinct sessions from many threads reproduces the
-//! single-threaded trajectories exactly.
+//! different shards never contend. GP work never runs under a shard lock
+//! (the alint L7 contract): [`SessionStore::observe`] checks the session
+//! out of its shard, runs the refit/select step unlocked, and checks the
+//! successor state back in, so a slow fit on one session never blocks its
+//! shard-mates. Per-session call ordering is what makes
+//! [`crate::session::step`] deterministic, and the concurrency suite
+//! (`tests/session_concurrency.rs`) checks that hammering distinct
+//! sessions from many threads reproduces the single-threaded trajectories
+//! exactly.
 //!
 //! The warm-start cache is the paper's "reuse the old model's parameters
 //! as a starting point" applied across sessions: when a session finishes,
@@ -233,7 +236,7 @@ impl SessionStore {
 
     /// Number of live sessions across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|shard| shard.lock().len()).sum()
     }
 
     /// True when no session is live.
@@ -299,37 +302,47 @@ impl SessionStore {
     /// any state is touched, so a mismatched report leaves the session
     /// intact. A GP failure mid-step is fatal for that session: it is
     /// removed from the store and the error returned.
+    ///
+    /// The GP step runs with the shard guard dropped (alint L7: no fit
+    /// work under a lock): the session is checked out of the shard, the
+    /// refit/select step runs unlocked, and the successor state is checked
+    /// back in. While a session is checked out its id reads as absent —
+    /// harmless under the one-caller-per-session contract the concurrency
+    /// suite exercises, and a `create` racing into the gap loses its map
+    /// slot here, surfacing as [`SessionError::DuplicateSession`] rather
+    /// than a silently dropped session.
     pub fn observe(&self, id: u64, obs: &Observation) -> Result<Decision, SessionError> {
-        let mut shard = self.shard(id).lock();
-        let entry = shard.get_mut(&id).ok_or(SessionError::UnknownSession(id))?;
-        let expected = entry.state.awaiting();
-        if expected != Some(obs.dataset_index) {
-            return Err(SessionError::ObservationMismatch {
-                id,
-                expected,
-                got: obs.dataset_index,
-            });
-        }
-        // `step` consumes the state; park a placeholder-free removal until
-        // the step returns, removing the session on failure.
+        use std::collections::btree_map::Entry as MapEntry;
         let Entry {
             state,
             warm_key,
             decision: _,
-        } = match shard.remove(&id) {
-            Some(entry) => entry,
-            None => return Err(SessionError::UnknownSession(id)),
+        } = {
+            let mut shard = self.shard(id).lock();
+            let entry = shard.get_mut(&id).ok_or(SessionError::UnknownSession(id))?;
+            let expected = entry.state.awaiting();
+            if expected != Some(obs.dataset_index) {
+                return Err(SessionError::ObservationMismatch {
+                    id,
+                    expected,
+                    got: obs.dataset_index,
+                });
+            }
+            match shard.remove(&id) {
+                Some(entry) => entry,
+                None => return Err(SessionError::UnknownSession(id)),
+            }
         };
         match state.step(obs) {
             Ok((state, decision)) => {
-                shard.insert(
-                    id,
-                    Entry {
+                match self.shard(id).lock().entry(id) {
+                    MapEntry::Occupied(_) => return Err(SessionError::DuplicateSession(id)),
+                    MapEntry::Vacant(slot) => slot.insert(Entry {
                         state,
                         decision,
                         warm_key,
-                    },
-                );
+                    }),
+                };
                 Ok(decision)
             }
             Err(e) => Err(SessionError::Gp(e)),
@@ -365,7 +378,7 @@ impl SessionStore {
         let mut ids: Vec<u64> = self
             .shards
             .iter()
-            .flat_map(|s| s.lock().keys().copied().collect::<Vec<u64>>())
+            .flat_map(|shard| shard.lock().keys().copied().collect::<Vec<u64>>())
             .collect();
         ids.sort_unstable();
         ids
